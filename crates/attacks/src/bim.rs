@@ -1,0 +1,188 @@
+//! The basic iterative method, with access to intermediate iterates.
+
+use crate::attack::Attack;
+use crate::projection::signed_step;
+use simpadv_nn::GradientModel;
+use simpadv_tensor::Tensor;
+
+/// BIM (Kurakin et al., 2016): `N` signed-gradient steps of size `εₛ`,
+/// each projected onto the ε-ball and the pixel box.
+///
+/// The paper's experiments parameterize BIM by `(ε, N)` with per-step size
+/// `εₛ = ε / N`; [`Bim::new`] follows that convention and
+/// [`Bim::with_step`] overrides it (the proposed method trains with a
+/// deliberately *large* step).
+///
+/// # Example
+///
+/// ```
+/// use simpadv_attacks::Bim;
+///
+/// let bim = Bim::new(0.3, 10); // ε = 0.3, 10 iterations, step 0.03
+/// assert!((bim.step() - 0.03).abs() < 1e-6);
+/// assert_eq!(bim.id(), "bim(10)");
+/// # use simpadv_attacks::Attack;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bim {
+    epsilon: f32,
+    iterations: usize,
+    step: f32,
+}
+
+impl Bim {
+    /// Creates a BIM attack with budget `epsilon`, `iterations` steps and
+    /// the paper's default step size `epsilon / iterations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative/non-finite or `iterations == 0`.
+    pub fn new(epsilon: f32, iterations: usize) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid epsilon {epsilon}");
+        assert!(iterations > 0, "bim needs at least one iteration");
+        Bim { epsilon, iterations, step: epsilon / iterations as f32 }
+    }
+
+    /// Overrides the per-step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is negative or not finite.
+    pub fn with_step(mut self, step: f32) -> Self {
+        assert!(step >= 0.0 && step.is_finite(), "invalid step {step}");
+        self.step = step;
+        self
+    }
+
+    /// Number of iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Per-step perturbation size εₛ.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Runs the attack and returns **every intermediate iterate**
+    /// `x₁, …, x_N` (Section III of the paper evaluates classifiers
+    /// against exactly these).
+    pub fn iterates(
+        &self,
+        model: &mut dyn GradientModel,
+        x: &Tensor,
+        y: &[usize],
+    ) -> Vec<Tensor> {
+        let mut out = Vec::with_capacity(self.iterations);
+        let mut cur = x.clone();
+        for _ in 0..self.iterations {
+            cur = signed_step(model, &cur, x, y, self.step, self.epsilon);
+            out.push(cur.clone());
+        }
+        out
+    }
+}
+
+impl Attack for Bim {
+    fn perturb(&mut self, model: &mut dyn GradientModel, x: &Tensor, y: &[usize]) -> Tensor {
+        let mut cur = x.clone();
+        for _ in 0..self.iterations {
+            cur = signed_step(model, &cur, x, y, self.step, self.epsilon);
+        }
+        cur
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    fn id(&self) -> String {
+        format!("bim({})", self.iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::testmodel::{centred_batch, linear_model};
+    use crate::fgsm::Fgsm;
+    use crate::projection::linf_distance;
+    use simpadv_nn::GradientModel;
+
+    #[test]
+    fn bim_one_step_equals_fgsm() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(3);
+        let a = Bim::new(0.1, 1).perturb(&mut m, &x, &y);
+        let b = Fgsm::new(0.1).perturb(&mut m, &x, &y);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stays_within_budget() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(2);
+        let adv = Bim::new(0.15, 10).perturb(&mut m, &x, &y);
+        assert!(linf_distance(&adv, &x) <= 0.15 + 1e-6);
+        // and reaches it on this linear model (all steps aligned)
+        assert!(linf_distance(&adv, &x) >= 0.15 - 1e-5);
+    }
+
+    #[test]
+    fn iterates_count_and_final_match_perturb() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(2);
+        let bim = Bim::new(0.2, 5);
+        let iters = bim.iterates(&mut m, &x, &y);
+        assert_eq!(iters.len(), 5);
+        let fin = bim.clone().perturb(&mut m, &x, &y);
+        assert_eq!(iters.last().unwrap(), &fin);
+    }
+
+    #[test]
+    fn iterates_have_monotone_nondecreasing_distance() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(2);
+        let iters = Bim::new(0.3, 6).iterates(&mut m, &x, &y);
+        let mut prev = 0.0;
+        for it in &iters {
+            let d = linf_distance(it, &x);
+            assert!(d >= prev - 1e-6, "distance not monotone: {prev} -> {d}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn loss_increases_with_iterations_on_linear_model() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(4);
+        let iters = Bim::new(0.3, 5).iterates(&mut m, &x, &y);
+        let (mut prev, _) = m.loss_and_input_grad(&x, &y);
+        for it in &iters {
+            let (l, _) = m.loss_and_input_grad(it, &y);
+            assert!(l >= prev - 1e-5, "loss decreased: {prev} -> {l}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn custom_step_is_respected() {
+        let bim = Bim::new(0.3, 10).with_step(0.07);
+        assert_eq!(bim.step(), 0.07);
+        assert_eq!(bim.iterations(), 10);
+    }
+
+    #[test]
+    fn large_step_still_respects_ball() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(1);
+        let adv = Bim::new(0.1, 5).with_step(0.08).perturb(&mut m, &x, &y);
+        assert!(linf_distance(&adv, &x) <= 0.1 + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        Bim::new(0.1, 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! The fast gradient sign method.
+
+use crate::attack::Attack;
+use crate::projection::signed_step;
+use simpadv_nn::GradientModel;
+use simpadv_tensor::Tensor;
+
+/// FGSM (Goodfellow et al., 2015): one signed-gradient step of size ε.
+///
+/// `x_adv = clip(x + ε · sign(∇ₓ L(C(x), y)))`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fgsm {
+    epsilon: f32,
+}
+
+impl Fgsm {
+    /// Creates an FGSM attack with total budget `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(epsilon: f32) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid epsilon {epsilon}");
+        Fgsm { epsilon }
+    }
+}
+
+impl Attack for Fgsm {
+    fn perturb(&mut self, model: &mut dyn GradientModel, x: &Tensor, y: &[usize]) -> Tensor {
+        signed_step(model, x, x, y, self.epsilon, self.epsilon)
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    fn id(&self) -> String {
+        "fgsm".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::testmodel::{centred_batch, linear_model};
+    use crate::projection::linf_distance;
+
+    #[test]
+    fn perturbation_is_exactly_epsilon_when_unclipped() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(2);
+        let mut atk = Fgsm::new(0.1);
+        let adv = atk.perturb(&mut m, &x, &y);
+        // every gradient coordinate of the linear model is nonzero, and the
+        // batch is centred, so each pixel moves by the full ε
+        let d = adv.sub(&x).abs();
+        assert!(d.as_slice().iter().all(|&v| (v - 0.1).abs() < 1e-6));
+    }
+
+    #[test]
+    fn increases_model_loss() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(4);
+        let mut atk = Fgsm::new(0.2);
+        let adv = atk.perturb(&mut m, &x, &y);
+        use simpadv_nn::GradientModel;
+        let (l0, _) = m.loss_and_input_grad(&x, &y);
+        let (l1, _) = m.loss_and_input_grad(&adv, &y);
+        assert!(l1 > l0);
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(2);
+        let adv = Fgsm::new(0.0).perturb(&mut m, &x, &y);
+        assert_eq!(adv, x);
+    }
+
+    #[test]
+    fn stays_in_pixel_box() {
+        let mut m = linear_model();
+        let x = Tensor::from_vec(vec![0.0, 1.0, 0.02, 0.98], &[1, 4]);
+        let adv = Fgsm::new(0.3).perturb(&mut m, &x, &[0]);
+        assert!(adv.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(linf_distance(&adv, &x) <= 0.3 + 1e-6);
+    }
+
+    #[test]
+    fn id_and_epsilon_accessors() {
+        let atk = Fgsm::new(0.25);
+        assert_eq!(atk.id(), "fgsm");
+        assert_eq!(atk.epsilon(), 0.25);
+    }
+}

@@ -1,0 +1,210 @@
+//! l2-norm attacks — extensions beyond the paper's l∞ evaluation, useful
+//! for checking that a defense is not narrowly specialized to one
+//! perturbation geometry.
+
+use crate::attack::Attack;
+use simpadv_nn::GradientModel;
+use simpadv_tensor::Tensor;
+
+/// Per-example l2 norms of a batched tensor `[n, d...]`.
+pub fn row_l2_norms(x: &Tensor) -> Vec<f32> {
+    let n = x.shape()[0];
+    let d: usize = x.shape()[1..].iter().product();
+    let s = x.as_slice();
+    (0..n)
+        .map(|i| s[i * d..(i + 1) * d].iter().map(|&v| v * v).sum::<f32>().sqrt())
+        .collect()
+}
+
+/// Maximum per-example l2 distance between two batches.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn l2_distance(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "l2_distance shape mismatch");
+    row_l2_norms(&a.sub(b)).into_iter().fold(0.0, f32::max)
+}
+
+/// Projects each example of `x` onto the l2 ball of radius `eps` around
+/// the matching example of `origin`, then clamps to the pixel box.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or negative `eps`.
+pub fn project_ball_l2(x: &Tensor, origin: &Tensor, eps: f32) -> Tensor {
+    assert_eq!(x.shape(), origin.shape(), "project_ball_l2 shape mismatch");
+    assert!(eps >= 0.0, "epsilon must be non-negative");
+    let delta = x.sub(origin);
+    let norms = row_l2_norms(&delta);
+    let n = x.shape()[0];
+    let d: usize = x.shape()[1..].iter().product();
+    let mut out = delta.into_vec();
+    for i in 0..n {
+        if norms[i] > eps && norms[i] > 0.0 {
+            let scale = eps / norms[i];
+            for v in &mut out[i * d..(i + 1) * d] {
+                *v *= scale;
+            }
+        }
+    }
+    Tensor::from_vec(out, x.shape()).add(origin).clamp(0.0, 1.0)
+}
+
+/// Normalizes each example of a gradient batch to unit l2 norm (zero
+/// gradients stay zero).
+fn row_normalize(g: &Tensor) -> Tensor {
+    let norms = row_l2_norms(g);
+    let n = g.shape()[0];
+    let d: usize = g.shape()[1..].iter().product();
+    let mut out = g.as_slice().to_vec();
+    for i in 0..n {
+        if norms[i] > 0.0 {
+            for v in &mut out[i * d..(i + 1) * d] {
+                *v /= norms[i];
+            }
+        }
+    }
+    Tensor::from_vec(out, g.shape())
+}
+
+/// The fast gradient method in l2 geometry: one step of length ε along
+/// the normalized input gradient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FgmL2 {
+    epsilon: f32,
+}
+
+impl FgmL2 {
+    /// Creates the attack with l2 budget `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(epsilon: f32) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid epsilon {epsilon}");
+        FgmL2 { epsilon }
+    }
+}
+
+impl Attack for FgmL2 {
+    fn perturb(&mut self, model: &mut dyn GradientModel, x: &Tensor, y: &[usize]) -> Tensor {
+        let (_, grad) = model.loss_and_input_grad(x, y);
+        let stepped = x.add(&row_normalize(&grad).mul_scalar(self.epsilon));
+        project_ball_l2(&stepped, x, self.epsilon)
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    fn id(&self) -> String {
+        "fgm-l2".to_string()
+    }
+}
+
+/// Projected gradient descent in l2 geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgdL2 {
+    epsilon: f32,
+    iterations: usize,
+    step: f32,
+}
+
+impl PgdL2 {
+    /// Creates the attack with l2 budget `epsilon`, `iterations` steps of
+    /// length `2.5 * epsilon / iterations` (the conventional choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative/non-finite or `iterations == 0`.
+    pub fn new(epsilon: f32, iterations: usize) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid epsilon {epsilon}");
+        assert!(iterations > 0, "pgd-l2 needs at least one iteration");
+        PgdL2 { epsilon, iterations, step: 2.5 * epsilon / iterations as f32 }
+    }
+}
+
+impl Attack for PgdL2 {
+    fn perturb(&mut self, model: &mut dyn GradientModel, x: &Tensor, y: &[usize]) -> Tensor {
+        let mut cur = x.clone();
+        for _ in 0..self.iterations {
+            let (_, grad) = model.loss_and_input_grad(&cur, y);
+            let stepped = cur.add(&row_normalize(&grad).mul_scalar(self.step));
+            cur = project_ball_l2(&stepped, x, self.epsilon);
+        }
+        cur
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    fn id(&self) -> String {
+        format!("pgd-l2({})", self.iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::testmodel::{centred_batch, linear_model};
+
+    #[test]
+    fn row_norms_known_values() {
+        let t = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2]);
+        assert_eq!(row_l2_norms(&t), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn projection_shrinks_only_outside() {
+        let origin = Tensor::zeros(&[1, 2]).add_scalar(0.5);
+        let inside = Tensor::from_vec(vec![0.55, 0.5], &[1, 2]);
+        assert_eq!(project_ball_l2(&inside, &origin, 0.1), inside);
+        let outside = Tensor::from_vec(vec![0.9, 0.5], &[1, 2]);
+        let p = project_ball_l2(&outside, &origin, 0.1);
+        assert!((l2_distance(&p, &origin) - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let origin = Tensor::full(&[2, 3], 0.4);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.2, 0.9, 0.9, 0.9], &[2, 3]);
+        let p1 = project_ball_l2(&x, &origin, 0.3);
+        let p2 = project_ball_l2(&p1, &origin, 0.3);
+        for (a, b) in p1.as_slice().iter().zip(p2.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fgm_l2_respects_budget_and_raises_loss() {
+        use simpadv_nn::GradientModel;
+        let mut m = linear_model();
+        let (x, y) = centred_batch(3);
+        let adv = FgmL2::new(0.4).perturb(&mut m, &x, &y);
+        assert!(l2_distance(&adv, &x) <= 0.4 + 1e-5);
+        let (l0, _) = m.loss_and_input_grad(&x, &y);
+        let (l1, _) = m.loss_and_input_grad(&adv, &y);
+        assert!(l1 > l0);
+    }
+
+    #[test]
+    fn pgd_l2_at_least_as_strong_as_fgm() {
+        use simpadv_nn::GradientModel;
+        let mut m = linear_model();
+        let (x, y) = centred_batch(4);
+        let a1 = FgmL2::new(0.4).perturb(&mut m, &x, &y);
+        let a2 = PgdL2::new(0.4, 8).perturb(&mut m, &x, &y);
+        let (l1, _) = m.loss_and_input_grad(&a1, &y);
+        let (l2, _) = m.loss_and_input_grad(&a2, &y);
+        assert!(l2 >= l1 - 1e-4, "pgd-l2 ({l2}) weaker than fgm-l2 ({l1})");
+        assert!(l2_distance(&a2, &x) <= 0.4 + 1e-5);
+    }
+
+    #[test]
+    fn ids() {
+        assert_eq!(FgmL2::new(0.1).id(), "fgm-l2");
+        assert_eq!(PgdL2::new(0.1, 7).id(), "pgd-l2(7)");
+    }
+}

@@ -1,0 +1,132 @@
+//! l∞-ball projection and signed gradient steps — the shared geometry of
+//! every attack in this crate.
+
+use simpadv_nn::GradientModel;
+use simpadv_tensor::Tensor;
+
+/// Projects `x` onto the intersection of the l∞ ball of radius `eps`
+/// around `origin` and the valid pixel box `[0, 1]`.
+///
+/// This is the `clip` of the paper's BIM definition.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `eps` is negative.
+pub fn project_ball(x: &Tensor, origin: &Tensor, eps: f32) -> Tensor {
+    assert_eq!(x.shape(), origin.shape(), "project_ball shape mismatch");
+    assert!(eps >= 0.0, "epsilon must be non-negative");
+    let lo = origin.add_scalar(-eps).clamp(0.0, 1.0);
+    let hi = origin.add_scalar(eps).clamp(0.0, 1.0);
+    x.maximum(&lo).minimum(&hi)
+}
+
+/// The l∞ distance between two tensors.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn linf_distance(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "linf_distance shape mismatch");
+    a.sub(b).norm_linf()
+}
+
+/// One signed-gradient ascent step from `x` (the core of FGSM and of each
+/// BIM iteration):
+///
+/// `x' = clip(x + step · sign(∇ₓ L(C(x), y)))`
+///
+/// projected onto the `eps`-ball around `origin` and `[0, 1]`. Exposed as a
+/// free function because the paper's proposed trainer performs exactly one
+/// such step per epoch from a *persistent* starting point.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or a negative budget.
+pub fn signed_step(
+    model: &mut dyn GradientModel,
+    x: &Tensor,
+    origin: &Tensor,
+    y: &[usize],
+    step: f32,
+    eps: f32,
+) -> Tensor {
+    assert!(step >= 0.0, "step must be non-negative");
+    let (_, grad) = model.loss_and_input_grad(x, y);
+    let stepped = x.add(&grad.sign().mul_scalar(step));
+    project_ball(&stepped, origin, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::testmodel::{centred_batch, linear_model};
+
+    #[test]
+    fn projection_is_identity_inside_ball() {
+        let origin = Tensor::full(&[4], 0.5);
+        let x = Tensor::from_slice(&[0.45, 0.5, 0.55, 0.52]);
+        assert_eq!(project_ball(&x, &origin, 0.1), x);
+    }
+
+    #[test]
+    fn projection_clips_to_ball_and_box() {
+        let origin = Tensor::from_slice(&[0.05, 0.5, 0.95]);
+        let x = Tensor::from_slice(&[-0.5, 0.9, 1.5]);
+        let p = project_ball(&x, &origin, 0.2);
+        // coordinate 0: ball floor is -0.15, box floor 0 → 0
+        assert_eq!(p.as_slice()[0], 0.0);
+        // coordinate 1: ball ceiling 0.7
+        assert!((p.as_slice()[1] - 0.7).abs() < 1e-6);
+        // coordinate 2: ball ceiling 1.15, box ceiling 1 → 1
+        assert_eq!(p.as_slice()[2], 1.0);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let origin = Tensor::full(&[8], 0.4);
+        let x = Tensor::linspace(-1.0, 2.0, 8);
+        let p1 = project_ball(&x, &origin, 0.3);
+        let p2 = project_ball(&p1, &origin, 0.3);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn linf_distance_values() {
+        let a = Tensor::from_slice(&[0.0, 1.0]);
+        let b = Tensor::from_slice(&[0.25, 0.5]);
+        assert_eq!(linf_distance(&a, &b), 0.5);
+        assert_eq!(linf_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn signed_step_moves_against_the_model() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(2);
+        let x1 = signed_step(&mut m, &x, &x, &y, 0.05, 0.1);
+        // the step increases the loss
+        use simpadv_nn::GradientModel;
+        let (l0, _) = m.loss_and_input_grad(&x, &y);
+        let (l1, _) = m.loss_and_input_grad(&x1, &y);
+        assert!(l1 > l0, "loss should rise: {l0} -> {l1}");
+        // and respects the ball
+        assert!(linf_distance(&x1, &x) <= 0.05 + 1e-6);
+    }
+
+    #[test]
+    fn signed_step_respects_total_budget() {
+        let mut m = linear_model();
+        let (x, y) = centred_batch(1);
+        let mut cur = x.clone();
+        for _ in 0..10 {
+            cur = signed_step(&mut m, &cur, &x, &y, 0.05, 0.08);
+        }
+        assert!(linf_distance(&cur, &x) <= 0.08 + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_epsilon_rejected() {
+        let x = Tensor::zeros(&[2]);
+        project_ball(&x, &x, -0.1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Attack-generation cost: the inner loop whose repetition count is
+//! exactly what separates Single-Adv from Iter-Adv in Table I.
+//!
+//! Expected shape: FGSM ≈ BIM(1); BIM(k) scales linearly in k; PGD(k) ≈
+//! BIM(k) plus one random draw.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simpadv::ModelSpec;
+use simpadv_attacks::{Attack, Bim, Fgsm, Mim, Pgd, RandomNoise};
+use simpadv_data::IMAGE_PIXELS;
+use simpadv_tensor::Tensor;
+use std::hint::black_box;
+
+fn batch(n: usize) -> (Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let x = Tensor::rand_uniform(&mut rng, &[n, IMAGE_PIXELS], 0.0, 1.0);
+    let y = (0..n).map(|i| i % 10).collect();
+    (x, y)
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut clf = ModelSpec::default_mlp().build(0);
+    let (x, y) = batch(64);
+    let mut group = c.benchmark_group("attack_generation_batch64");
+    group.sample_size(20);
+    group.bench_function("fgsm", |b| {
+        let mut atk = Fgsm::new(0.3);
+        b.iter(|| black_box(atk.perturb(&mut clf, &x, &y)))
+    });
+    for &k in &[1usize, 10, 30] {
+        group.bench_with_input(BenchmarkId::new("bim", k), &k, |b, &k| {
+            let mut atk = Bim::new(0.3, k);
+            b.iter(|| black_box(atk.perturb(&mut clf, &x, &y)))
+        });
+    }
+    group.bench_function("pgd10", |b| {
+        let mut atk = Pgd::new(0.3, 10, 7);
+        b.iter(|| black_box(atk.perturb(&mut clf, &x, &y)))
+    });
+    group.bench_function("mim10", |b| {
+        let mut atk = Mim::new(0.3, 10, 1.0);
+        b.iter(|| black_box(atk.perturb(&mut clf, &x, &y)))
+    });
+    group.bench_function("noise", |b| {
+        let mut atk = RandomNoise::new(0.3, 7);
+        b.iter(|| black_box(atk.perturb(&mut clf, &x, &y)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

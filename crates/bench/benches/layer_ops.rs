@@ -1,0 +1,54 @@
+//! Layer forward/backward throughput at the shapes the experiments use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simpadv_nn::{Conv2d, Dense, Layer, MaxPool2d, Mode, Relu};
+use simpadv_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut layer = Dense::new(784, 128, &mut rng);
+    let x = Tensor::rand_uniform(&mut rng, &[128, 784], 0.0, 1.0);
+    let mut group = c.benchmark_group("dense_784x128_batch128");
+    group.bench_function("forward", |b| b.iter(|| black_box(layer.forward(&x, Mode::Train))));
+    let y = layer.forward(&x, Mode::Train);
+    let g = Tensor::ones(y.shape());
+    group.bench_function("backward", |b| b.iter(|| black_box(layer.backward(&g))));
+    group.finish();
+}
+
+fn bench_relu(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut layer = Relu::new();
+    let x = Tensor::rand_uniform(&mut rng, &[128, 128], -1.0, 1.0);
+    c.bench_function("relu_forward_128x128", |b| {
+        b.iter(|| black_box(layer.forward(&x, Mode::Train)))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut layer = Conv2d::new(1, 8, 3, 1, 1, 28, 28, &mut rng);
+    let x = Tensor::rand_uniform(&mut rng, &[16, 1, 28, 28], 0.0, 1.0);
+    let mut group = c.benchmark_group("conv2d_1to8_k3_batch16");
+    group.sample_size(20);
+    group.bench_function("forward", |b| b.iter(|| black_box(layer.forward(&x, Mode::Train))));
+    let y = layer.forward(&x, Mode::Train);
+    let g = Tensor::ones(y.shape());
+    group.bench_function("backward", |b| b.iter(|| black_box(layer.backward(&g))));
+    group.finish();
+}
+
+fn bench_maxpool(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut layer = MaxPool2d::new(2, 2);
+    let x = Tensor::rand_uniform(&mut rng, &[16, 8, 28, 28], 0.0, 1.0);
+    c.bench_function("maxpool2x2_forward_16x8x28x28", |b| {
+        b.iter(|| black_box(layer.forward(&x, Mode::Train)))
+    });
+}
+
+criterion_group!(benches, bench_dense, bench_relu, bench_conv, bench_maxpool);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Substrate throughput: the tensor kernels every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simpadv_tensor::{im2col, Conv2dGeometry, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::rand_uniform(&mut rng, &[n, n], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::rand_uniform(&mut rng, &[128, 784], -1.0, 1.0);
+    let w = Tensor::rand_uniform(&mut rng, &[784, 128], -1.0, 1.0);
+    let mut group = c.benchmark_group("matmul_variants");
+    group.bench_function("nn", |b| b.iter(|| black_box(a.matmul(&w))));
+    group.bench_function("tn", |b| {
+        let at = a.transpose();
+        b.iter(|| black_box(at.matmul_tn(&w)))
+    });
+    group.bench_function("nt", |b| {
+        let wt = w.transpose();
+        b.iter(|| black_box(a.matmul_nt(&wt)))
+    });
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Tensor::rand_uniform(&mut rng, &[64, 784], -1.0, 1.0);
+    let b = Tensor::rand_uniform(&mut rng, &[64, 784], -1.0, 1.0);
+    let mut group = c.benchmark_group("elementwise");
+    group.bench_function("add", |bch| bch.iter(|| black_box(a.add(&b))));
+    group.bench_function("sign", |bch| bch.iter(|| black_box(a.sign())));
+    group.bench_function("clamp", |bch| bch.iter(|| black_box(a.clamp(0.0, 1.0))));
+    group.bench_function("add_scaled_in_place", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.add_scaled(&b, 0.3);
+            black_box(x)
+        })
+    });
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::rand_uniform(&mut rng, &[16, 1, 28, 28], 0.0, 1.0);
+    let geom = Conv2dGeometry::new(28, 28, 3, 3, 1, 1);
+    c.bench_function("im2col_16x1x28x28_k3", |b| b.iter(|| black_box(im2col(&x, 1, &geom))));
+}
+
+criterion_group!(benches, bench_matmul, bench_matmul_variants, bench_elementwise, bench_im2col);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! The micro version of Table I's "training time per epoch" column: one
+//! epoch of every method on a fixed small workload.
+//!
+//! Expected shape (the paper's): Vanilla < FGSM-Adv ≈ Proposed ≤ ATDA ≪
+//! BIM(10)-Adv ≪ BIM(30)-Adv.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simpadv::train::{
+    AtdaTrainer, BimAdvTrainer, FgsmAdvTrainer, ProposedTrainer, Trainer, VanillaTrainer,
+};
+use simpadv::{ModelSpec, TrainConfig};
+use simpadv_data::{SynthConfig, SynthDataset};
+use std::hint::black_box;
+
+fn bench_one_epoch(c: &mut Criterion) {
+    let data = SynthDataset::Mnist.generate(&SynthConfig::new(256, 1));
+    let config = TrainConfig::new(1, 0);
+    let eps = 0.3;
+    let mut group = c.benchmark_group("one_epoch_n256");
+    group.sample_size(10);
+
+    group.bench_function("vanilla", |b| {
+        b.iter(|| {
+            let mut clf = ModelSpec::small_mlp().build(3);
+            black_box(VanillaTrainer::new().train(&mut clf, &data, &config))
+        })
+    });
+    group.bench_function("fgsm_adv", |b| {
+        b.iter(|| {
+            let mut clf = ModelSpec::small_mlp().build(3);
+            black_box(FgsmAdvTrainer::new(eps).train(&mut clf, &data, &config))
+        })
+    });
+    group.bench_function("atda", |b| {
+        b.iter(|| {
+            let mut clf = ModelSpec::small_mlp().build(3);
+            black_box(AtdaTrainer::new(eps).train(&mut clf, &data, &config))
+        })
+    });
+    group.bench_function("proposed", |b| {
+        b.iter(|| {
+            let mut clf = ModelSpec::small_mlp().build(3);
+            black_box(ProposedTrainer::paper_defaults(eps).train(&mut clf, &data, &config))
+        })
+    });
+    group.bench_function("bim10_adv", |b| {
+        b.iter(|| {
+            let mut clf = ModelSpec::small_mlp().build(3);
+            black_box(BimAdvTrainer::new(eps, 10).train(&mut clf, &data, &config))
+        })
+    });
+    group.bench_function("bim30_adv", |b| {
+        b.iter(|| {
+            let mut clf = ModelSpec::small_mlp().build(3);
+            black_box(BimAdvTrainer::new(eps, 30).train(&mut clf, &data, &config))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_epoch);
+criterion_main!(benches);

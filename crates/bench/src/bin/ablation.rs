@@ -1,0 +1,19 @@
+//! Regenerates the ablation study of the proposed method's two knobs
+//! (per-epoch step size, reset period) — the design-choice analysis
+//! DESIGN.md lists beyond the paper's own exhibits.
+
+use simpadv::experiments::ablation;
+use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_data::SynthDataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    eprintln!("ablation at scale {scale:?}");
+    let result = ablation::run(SynthDataset::Mnist, &scale);
+    println!("{result}");
+    match write_artifact("ablation.json", &result) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates the convergence-dynamics extension: BIM(10) robustness vs
+//! training epochs for FGSM-Adv, the proposed method and BIM(10)-Adv.
+
+use simpadv::experiments::convergence;
+use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_data::SynthDataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    // epoch grid scaled to the configured budget
+    let max = scale.epochs;
+    let grid: Vec<usize> = [1, 2, 4, 8].iter().map(|f| (max * f / 8).max(1)).collect();
+    eprintln!("convergence at scale {scale:?}, epoch grid {grid:?}");
+    let result = convergence::run(SynthDataset::Mnist, &scale, &grid);
+    println!("{result}");
+    let labels: Vec<String> = result.epochs.iter().map(|e| e.to_string()).collect();
+    println!("{}", simpadv::chart::render_accuracy_chart(&labels, &result.series));
+    match write_artifact("convergence.json", &result) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

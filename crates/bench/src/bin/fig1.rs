@@ -1,0 +1,24 @@
+//! Regenerates Figure 1: test accuracy vs BIM iteration count, for the
+//! four probe classifiers on both synthetic datasets.
+
+use simpadv::experiments::fig1;
+use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_data::SynthDataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    eprintln!("figure 1 at scale {scale:?}");
+    let mut artifacts = Vec::new();
+    for dataset in [SynthDataset::Mnist, SynthDataset::Fashion] {
+        let result = fig1::run(dataset, &scale);
+        println!("{result}");
+        let labels: Vec<String> = result.iterations.iter().map(|n| n.to_string()).collect();
+        println!("{}", simpadv::chart::render_accuracy_chart(&labels, &result.series));
+        artifacts.push(result);
+    }
+    match write_artifact("fig1.json", &artifacts) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

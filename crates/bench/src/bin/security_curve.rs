@@ -1,0 +1,20 @@
+//! Regenerates the security-curve extension: accuracy vs BIM(10) budget
+//! for Vanilla / FGSM-Adv / Proposed / BIM(10)-Adv.
+
+use simpadv::experiments::security_curve;
+use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_data::SynthDataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    eprintln!("security curves at scale {scale:?}");
+    let result = security_curve::run(SynthDataset::Mnist, &scale);
+    println!("{result}");
+    let labels: Vec<String> = result.epsilons.iter().map(|e| format!("{e:.2}")).collect();
+    println!("{}", simpadv::chart::render_accuracy_chart(&labels, &result.series));
+    match write_artifact("security_curve.json", &result) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

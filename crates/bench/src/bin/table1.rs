@@ -1,0 +1,18 @@
+//! Regenerates Table I: accuracy of all five defensive methods on
+//! Original / FGSM / BIM(10) / BIM(30) inputs for both datasets, plus
+//! training cost per epoch.
+
+use simpadv::experiments::table1;
+use simpadv_bench::{scale_from_args, write_artifact};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    eprintln!("table 1 at scale {scale:?}");
+    let result = table1::run(&scale);
+    println!("{result}");
+    match write_artifact("table1.json", &result) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

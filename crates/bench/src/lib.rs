@@ -1,0 +1,78 @@
+//! # simpadv-bench
+//!
+//! Benchmark and regeneration harness for the `simpadv` reproduction.
+//!
+//! * **Regeneration binaries** — one per paper exhibit:
+//!   `cargo run --release -p simpadv-bench --bin fig1` (and `fig2`,
+//!   `table1`). Each prints the paper-shaped series/rows and writes a JSON
+//!   artifact next to the repository's `results/` directory. Pass `--full`
+//!   for the larger workload and `--smoke` for a seconds-scale sanity run.
+//! * **Criterion benches** — `cargo bench -p simpadv-bench` measures the
+//!   substrate (tensor/layer throughput), attack generation cost, and the
+//!   per-epoch training cost of every method (the micro version of
+//!   Table I's time column).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use simpadv::experiments::ExperimentScale;
+
+/// Parses the common CLI of the regeneration binaries.
+///
+/// Recognized flags: `--full`, `--smoke` (default: quick). Unknown flags
+/// abort with a usage message.
+pub fn scale_from_args(args: &[String]) -> ExperimentScale {
+    let mut scale = ExperimentScale::quick();
+    for a in args {
+        match a.as_str() {
+            "--full" => scale = ExperimentScale::full(),
+            "--smoke" => scale = ExperimentScale::smoke(),
+            "--quick" => scale = ExperimentScale::quick(),
+            other => {
+                eprintln!("unknown flag {other}; use --smoke | --quick | --full");
+                std::process::exit(2);
+            }
+        }
+    }
+    scale
+}
+
+/// Writes a JSON artifact under `results/`, creating the directory.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_artifact<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> Result<std::path::PathBuf, Box<dyn std::error::Error>> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let file = std::fs::File::create(&path)?;
+    serde_json::to_writer_pretty(file, value)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        let s = scale_from_args(&[]);
+        assert_eq!(s.train_samples, ExperimentScale::quick().train_samples);
+    }
+
+    #[test]
+    fn full_flag_selects_full() {
+        let s = scale_from_args(&["--full".to_string()]);
+        assert_eq!(s.train_samples, ExperimentScale::full().train_samples);
+    }
+
+    #[test]
+    fn smoke_flag_selects_smoke() {
+        let s = scale_from_args(&["--smoke".to_string()]);
+        assert_eq!(s.train_samples, ExperimentScale::smoke().train_samples);
+    }
+}

@@ -1,0 +1,150 @@
+//! Dependency-free `--flag value` argument parsing.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when no subcommand is given, an option is
+    /// missing its value, or a positional argument appears after options.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ParseError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or_else(|| ParseError("missing subcommand".into()))?;
+        if command.starts_with("--") {
+            return Err(ParseError(format!("expected a subcommand, got option {command}")));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let Some(stripped) = key.strip_prefix("--") else {
+                return Err(ParseError(format!("unexpected positional argument {key}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ParseError(format!("option --{stripped} is missing a value")))?;
+            options.insert(stripped.to_string(), value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A string option, or `default` when absent.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map_or(default, String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when the option is absent.
+    pub fn require(&self, key: &str) -> Result<&str, ParseError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ParseError(format!("missing required option --{key}")))
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when present but unparseable.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("option --{key}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// Rejects unknown options, listing the accepted set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] naming the first unknown option.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ParseError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ParseError(format!(
+                    "unknown option --{key} for '{}' (accepted: {})",
+                    self.command,
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = Args::parse(argv("train --dataset mnist --epochs 40")).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get_or("dataset", "x"), "mnist");
+        assert_eq!(a.get_num::<usize>("epochs", 1).unwrap(), 40);
+        assert_eq!(a.get_num::<usize>("absent", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(Args::parse(argv("")).is_err());
+        assert!(Args::parse(argv("--train x")).is_err());
+    }
+
+    #[test]
+    fn option_without_value_is_an_error() {
+        assert!(Args::parse(argv("train --epochs")).is_err());
+    }
+
+    #[test]
+    fn stray_positional_is_an_error() {
+        assert!(Args::parse(argv("train mnist")).is_err());
+    }
+
+    #[test]
+    fn require_and_expect_only() {
+        let a = Args::parse(argv("eval --model m.json")).unwrap();
+        assert_eq!(a.require("model").unwrap(), "m.json");
+        assert!(a.require("dataset").is_err());
+        assert!(a.expect_only(&["model"]).is_ok());
+        assert!(a.expect_only(&["other"]).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = Args::parse(argv("train --epochs banana")).unwrap();
+        assert!(a.get_num::<usize>("epochs", 1).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Model checkpoints: architecture spec + weights in one JSON document.
+
+use serde::{Deserialize, Serialize};
+use simpadv::ModelSpec;
+use simpadv_nn::{Classifier, StateDict};
+use std::io::{Read, Write};
+
+/// A self-describing model file: rebuilding needs no out-of-band
+/// architecture knowledge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// The architecture.
+    pub spec: ModelSpec,
+    /// All named tensors.
+    pub state: StateDict,
+    /// The dataset id the model was trained on (informational).
+    pub trained_on: String,
+    /// The training method id (informational).
+    pub method: String,
+}
+
+impl SavedModel {
+    /// Captures a trained classifier.
+    pub fn capture(
+        spec: &ModelSpec,
+        clf: &Classifier,
+        trained_on: impl Into<String>,
+        method: impl Into<String>,
+    ) -> Self {
+        SavedModel {
+            spec: spec.clone(),
+            state: StateDict::capture(clf.network()),
+            trained_on: trained_on.into(),
+            method: method.into(),
+        }
+    }
+
+    /// Rebuilds the classifier (seed only shapes the throwaway init).
+    pub fn restore(&self) -> Classifier {
+        let mut clf = self.spec.build(0);
+        self.state.restore(clf.network_mut());
+        clf
+    }
+
+    /// Writes the checkpoint as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O or serialization error.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), Box<dyn std::error::Error>> {
+        serde_json::to_writer(writer, self)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O or deserialization error.
+    pub fn load<R: Read>(reader: R) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(serde_json::from_reader(reader)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpadv::train::{Trainer, VanillaTrainer};
+    use simpadv::TrainConfig;
+    use simpadv_data::{SynthConfig, SynthDataset};
+    use simpadv_nn::GradientModel;
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let train = SynthDataset::Mnist.generate(&SynthConfig::new(100, 1));
+        let spec = ModelSpec::small_mlp();
+        let mut clf = spec.build(3);
+        VanillaTrainer::new().train(&mut clf, &train, &TrainConfig::new(2, 0));
+
+        let saved = SavedModel::capture(&spec, &clf, "mnist", "vanilla");
+        let mut buf = Vec::new();
+        saved.save(&mut buf).unwrap();
+        let loaded = SavedModel::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded, saved);
+        let mut restored = loaded.restore();
+        assert_eq!(clf.logits(train.images()), restored.logits(train.images()));
+        assert_eq!(loaded.trained_on, "mnist");
+        assert_eq!(loaded.method, "vanilla");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error() {
+        assert!(SavedModel::load(&b"{broken"[..]).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Subcommand implementations.
+
+use crate::args::{Args, ParseError};
+use crate::checkpoint::SavedModel;
+use simpadv::train::{
+    AtdaTrainer, BimAdvTrainer, FgsmAdvTrainer, FreeAdvTrainer, ProposedTrainer, Trainer,
+    VanillaTrainer,
+};
+use simpadv::{EvalSuite, ModelSpec, TrainConfig};
+use simpadv_attacks::{
+    Attack, Bim, FgmL2, Fgsm, LeastLikelyFgsm, Mim, Pgd, PgdL2, RandomNoise,
+};
+use simpadv_data::{ascii_image, SynthConfig, SynthDataset};
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
+
+/// A CLI failure: bad arguments or a failing operation.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> Self {
+        CliError(e.0)
+    }
+}
+
+impl From<Box<dyn Error>> for CliError {
+    fn from(e: Box<dyn Error>) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Usage text printed by `help` and on argument errors.
+pub const USAGE: &str = "\
+simpadv — simplified adversarial training (Liu et al., 2019 reproduction)
+
+USAGE: simpadv-cli <command> [--option value ...]
+
+COMMANDS
+  generate  --dataset mnist|fashion [--samples N] [--seed S] [--preview K]
+  train     --dataset mnist|fashion [--method M] [--epochs N] [--samples N]
+            [--seed S] [--out FILE]
+            methods: vanilla fgsm atda proposed free bim10 bim30
+  evaluate  --model FILE --dataset mnist|fashion [--samples N] [--seed S]
+  attack    --model FILE --dataset mnist|fashion [--attack A] [--index I]
+            attacks: noise fgsm llfgsm bim10 bim30 pgd10 mim10 fgml2 pgdl2
+  help
+";
+
+/// Dispatches a parsed command line, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands, bad options or I/O failures.
+pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args, out),
+        "train" => cmd_train(args, out),
+        "evaluate" => cmd_evaluate(args, out),
+        "attack" => cmd_attack(args, out),
+        "help" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn parse_dataset(args: &Args) -> Result<SynthDataset, CliError> {
+    match args.require("dataset")? {
+        "mnist" => Ok(SynthDataset::Mnist),
+        "fashion" => Ok(SynthDataset::Fashion),
+        other => Err(CliError(format!("unknown dataset '{other}' (mnist|fashion)"))),
+    }
+}
+
+fn parse_method(name: &str, eps: f32) -> Result<(Box<dyn Trainer>, &'static str), CliError> {
+    Ok(match name {
+        "vanilla" => (Box::new(VanillaTrainer::new()), "vanilla"),
+        "fgsm" => (Box::new(FgsmAdvTrainer::new(eps)), "fgsm-adv"),
+        "atda" => (Box::new(AtdaTrainer::new(eps)), "atda"),
+        "proposed" => (Box::new(ProposedTrainer::paper_defaults(eps)), "proposed"),
+        "free" => (Box::new(FreeAdvTrainer::new(eps, 4)), "free(4)-adv"),
+        "bim10" => (Box::new(BimAdvTrainer::new(eps, 10)), "bim(10)-adv"),
+        "bim30" => (Box::new(BimAdvTrainer::new(eps, 30)), "bim(30)-adv"),
+        other => return Err(CliError(format!("unknown method '{other}'"))),
+    })
+}
+
+fn parse_attack(name: &str, eps: f32, seed: u64) -> Result<Box<dyn Attack>, CliError> {
+    Ok(match name {
+        "noise" => Box::new(RandomNoise::new(eps, seed)),
+        "fgsm" => Box::new(Fgsm::new(eps)),
+        "llfgsm" => Box::new(LeastLikelyFgsm::new(eps)),
+        "bim10" => Box::new(Bim::new(eps, 10)),
+        "bim30" => Box::new(Bim::new(eps, 30)),
+        "pgd10" => Box::new(Pgd::new(eps, 10, seed)),
+        "mim10" => Box::new(Mim::new(eps, 10, 1.0)),
+        "fgml2" => Box::new(FgmL2::new(eps * 10.0)), // l2 budgets live on another scale
+        "pgdl2" => Box::new(PgdL2::new(eps * 10.0, 10)),
+        other => return Err(CliError(format!("unknown attack '{other}'"))),
+    })
+}
+
+fn cmd_generate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["dataset", "samples", "seed", "preview"])?;
+    let dataset = parse_dataset(args)?;
+    let samples = args.get_num("samples", 100usize)?;
+    let seed = args.get_num("seed", 1u64)?;
+    let preview = args.get_num("preview", 0usize)?;
+    let data = dataset.generate(&SynthConfig::new(samples, seed));
+    writeln!(
+        out,
+        "generated {} '{}' images ({} classes, mean intensity {:.3})",
+        data.len(),
+        dataset.id(),
+        data.num_classes(),
+        data.images().mean()
+    )?;
+    for i in 0..preview.min(data.len()) {
+        writeln!(out, "label {}:", data.labels()[i])?;
+        writeln!(out, "{}", ascii_image(&data.images().row(i)))?;
+    }
+    Ok(())
+}
+
+fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["dataset", "method", "epochs", "samples", "seed", "out", "lr"])?;
+    let dataset = parse_dataset(args)?;
+    let eps = dataset.paper_epsilon();
+    let method = args.get_or("method", "proposed").to_string();
+    let epochs = args.get_num("epochs", 40usize)?;
+    let samples = args.get_num("samples", 1000usize)?;
+    let seed = args.get_num("seed", 1u64)?;
+    let lr = args.get_num("lr", 0.1f32)?;
+    let (mut trainer, method_id) = parse_method(&method, eps)?;
+
+    let train = dataset.generate(&SynthConfig::new(samples, seed));
+    let spec = ModelSpec::default_mlp();
+    let mut clf = spec.build(seed);
+    let config = TrainConfig::new(epochs, seed)
+        .with_learning_rate(lr)
+        .with_lr_decay(0.97);
+    writeln!(out, "training {method_id} on {} ({samples} images, {epochs} epochs)", dataset.id())?;
+    let report = trainer.train(&mut clf, &train, &config);
+    writeln!(
+        out,
+        "final loss {:.4}, {:.3}s/epoch, {:.0} gradient passes/epoch",
+        report.final_loss(),
+        report.mean_epoch_seconds(),
+        report.mean_gradient_passes()
+    )?;
+    if let Ok(path) = args.require("out") {
+        let saved = SavedModel::capture(&spec, &clf, dataset.id(), method_id);
+        saved.save(File::create(path)?)?;
+        writeln!(out, "wrote {path}")?;
+    }
+    Ok(())
+}
+
+fn cmd_evaluate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["model", "dataset", "samples", "seed"])?;
+    let dataset = parse_dataset(args)?;
+    let saved = SavedModel::load(File::open(args.require("model")?)?)?;
+    let mut clf = saved.restore();
+    let samples = args.get_num("samples", 400usize)?;
+    let seed = args.get_num("seed", 2u64)?;
+    let test = dataset.generate(&SynthConfig::new(samples, seed));
+    writeln!(
+        out,
+        "evaluating {} model (trained with {}) on {} x {}",
+        saved.spec.id(),
+        saved.method,
+        dataset.id(),
+        samples
+    )?;
+    let result = EvalSuite::paper(dataset.paper_epsilon()).run(&mut clf, &test);
+    writeln!(out, "{result}")?;
+    Ok(())
+}
+
+fn cmd_attack<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["model", "dataset", "attack", "index", "seed"])?;
+    let dataset = parse_dataset(args)?;
+    let saved = SavedModel::load(File::open(args.require("model")?)?)?;
+    let mut clf = saved.restore();
+    let seed = args.get_num("seed", 3u64)?;
+    let index = args.get_num("index", 0usize)?;
+    let eps = dataset.paper_epsilon();
+    let mut attack = parse_attack(args.get_or("attack", "bim10"), eps, seed)?;
+
+    let data = dataset.generate(&SynthConfig::new(index + 1, seed));
+    let x = data.images().rows(index..index + 1);
+    let y = vec![data.labels()[index]];
+    let adv = attack.perturb(&mut clf, &x, &y);
+    let pred_clean = clf.predict(&x)[0];
+    let pred_adv = clf.predict(&adv)[0];
+    writeln!(out, "true label {}, clean prediction {pred_clean}", y[0])?;
+    writeln!(out, "{}", ascii_image(&x.row(0)))?;
+    writeln!(
+        out,
+        "{} (eps {eps}): prediction {pred_adv} ({})",
+        attack.id(),
+        if pred_adv == y[0] { "still correct" } else { "FOOLED" }
+    )?;
+    writeln!(out, "{}", ascii_image(&adv.row(0)))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        let args =
+            Args::parse(line.split_whitespace().map(str::to_string)).map_err(CliError::from)?;
+        let mut out = Vec::new();
+        run(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_line("help").unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("proposed"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let err = run_line("frobnicate").unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_with_preview() {
+        let text = run_line("generate --dataset mnist --samples 12 --preview 2").unwrap();
+        assert!(text.contains("generated 12 'mnist' images"));
+        assert!(text.contains("label 0:"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset_and_option() {
+        assert!(run_line("generate --dataset imagenet").is_err());
+        assert!(run_line("generate --dataset mnist --bogus 1").is_err());
+    }
+
+    #[test]
+    fn train_evaluate_attack_roundtrip() {
+        let dir = std::env::temp_dir().join("simpadv-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.json");
+        let model = model.to_str().unwrap();
+
+        let text = run_line(&format!(
+            "train --dataset mnist --method vanilla --epochs 2 --samples 80 --out {model}"
+        ))
+        .unwrap();
+        assert!(text.contains("training vanilla"));
+        assert!(text.contains("wrote"));
+
+        let text = run_line(&format!("evaluate --model {model} --dataset mnist --samples 40"))
+            .unwrap();
+        assert!(text.contains("original"));
+        assert!(text.contains("bim(30)"));
+
+        let text = run_line(&format!(
+            "attack --model {model} --dataset mnist --attack fgsm --index 1"
+        ))
+        .unwrap();
+        assert!(text.contains("true label 1"));
+        assert!(text.contains("fgsm"));
+    }
+
+    #[test]
+    fn train_rejects_unknown_method() {
+        assert!(run_line("train --dataset mnist --method magic").is_err());
+    }
+
+    #[test]
+    fn all_attack_names_parse() {
+        for name in ["noise", "fgsm", "llfgsm", "bim10", "bim30", "pgd10", "mim10", "fgml2", "pgdl2"]
+        {
+            assert!(parse_attack(name, 0.3, 1).is_ok(), "{name}");
+        }
+        assert!(parse_attack("nope", 0.3, 1).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Terminal line charts — enough plotting to eyeball Figure 1/2 series
+//! without leaving the terminal.
+
+/// Renders accuracy series (values in `[0, 1]`) as an ASCII chart.
+///
+/// * `x_labels` — one label per x position (e.g. iteration counts);
+/// * `series` — `(name, values)` pairs, each `values.len() == x_labels.len()`;
+/// * each series is drawn with its own marker character, assigned in
+///   order: `* + o x # @`.
+///
+/// # Panics
+///
+/// Panics if series lengths disagree with the label count or no series is
+/// given.
+///
+/// # Example
+///
+/// ```
+/// use simpadv::chart::render_accuracy_chart;
+///
+/// let art = render_accuracy_chart(
+///     &["1".into(), "2".into(), "3".into()],
+///     &[("up".into(), vec![0.1, 0.5, 0.9])],
+/// );
+/// assert!(art.contains('*'));
+/// ```
+pub fn render_accuracy_chart(x_labels: &[String], series: &[(String, Vec<f32>)]) -> String {
+    assert!(!series.is_empty(), "chart needs at least one series");
+    for (name, values) in series {
+        assert_eq!(
+            values.len(),
+            x_labels.len(),
+            "series '{name}' has {} points for {} labels",
+            values.len(),
+            x_labels.len()
+        );
+    }
+    const HEIGHT: usize = 11; // 0%..100% in 10% rows
+    const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let col_width = 6usize;
+    let width = x_labels.len() * col_width;
+    let mut grid = vec![vec![' '; width]; HEIGHT];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for (xi, &v) in values.iter().enumerate() {
+            let v = v.clamp(0.0, 1.0);
+            let row = HEIGHT - 1 - ((v * (HEIGHT - 1) as f32).round() as usize);
+            let col = xi * col_width + col_width / 2;
+            grid[row][col] = if grid[row][col] == ' ' { marker } else { '&' };
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let pct = 100 - i * 10;
+        out.push_str(&format!("{pct:>4}% |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str("       ");
+    for label in x_labels {
+        out.push_str(&format!("{label:>width$}", width = col_width));
+    }
+    out.push('\n');
+    out.push_str("legend:");
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!(" {}={name}", MARKERS[si % MARKERS.len()]));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (1..=n).map(|i| i.to_string()).collect()
+    }
+
+    #[test]
+    fn chart_contains_markers_and_legend() {
+        let art = render_accuracy_chart(
+            &labels(3),
+            &[
+                ("a".into(), vec![1.0, 0.5, 0.0]),
+                ("b".into(), vec![0.0, 0.5, 1.0]),
+            ],
+        );
+        assert!(art.contains('*'));
+        assert!(art.contains('+') || art.contains('&')); // overlap at 50%
+        assert!(art.contains("legend: *=a +=b"));
+        assert!(art.contains("100% |"));
+        assert!(art.contains("  0% |"));
+    }
+
+    #[test]
+    fn high_values_render_above_low_values() {
+        let art = render_accuracy_chart(&labels(1), &[("hi".into(), vec![1.0])]);
+        let first_mark_line = art.lines().position(|l| l.contains('*')).unwrap();
+        let art_low = render_accuracy_chart(&labels(1), &[("lo".into(), vec![0.0])]);
+        let low_mark_line = art_low.lines().position(|l| l.contains('*')).unwrap();
+        assert!(first_mark_line < low_mark_line);
+    }
+
+    #[test]
+    fn overlapping_points_use_ampersand() {
+        let art = render_accuracy_chart(
+            &labels(1),
+            &[("a".into(), vec![0.5]), ("b".into(), vec![0.5])],
+        );
+        assert!(art.contains('&'));
+    }
+
+    #[test]
+    #[should_panic(expected = "points for")]
+    fn mismatched_lengths_rejected() {
+        render_accuracy_chart(&labels(2), &[("a".into(), vec![0.1])]);
+    }
+
+    #[test]
+    fn values_out_of_range_are_clamped() {
+        let art = render_accuracy_chart(&labels(1), &[("a".into(), vec![7.0])]);
+        assert!(art.lines().next().unwrap().contains('*'));
+    }
+}

@@ -1,0 +1,129 @@
+//! Training hyper-parameters shared by every method.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a training run.
+///
+/// The paper trains every method with "the same structure and
+/// hyper-parameter setting"; keeping them in one struct enforces that the
+/// comparisons in Table I differ *only* in the adversarial-example
+/// strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Seed for batch shuffling (and any trainer-internal randomness).
+    pub seed: u64,
+    /// Per-epoch multiplicative learning-rate decay (1.0 = constant).
+    pub lr_decay: f32,
+}
+
+impl TrainConfig {
+    /// A config with the defaults used throughout the reproduction:
+    /// batch size 64, learning rate 0.1, momentum 0.9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0`.
+    pub fn new(epochs: usize, seed: u64) -> Self {
+        assert!(epochs > 0, "need at least one epoch");
+        TrainConfig { epochs, batch_size: 64, learning_rate: 0.1, momentum: 0.9, seed, lr_decay: 1.0 }
+    }
+
+    /// Overrides the batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0`.
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Overrides the per-epoch learning-rate decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < decay <= 1`.
+    pub fn with_lr_decay(mut self, decay: f32) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "lr decay {decay} not in (0, 1]");
+        self.lr_decay = decay;
+        self
+    }
+
+    /// Overrides the momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= momentum < 1`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum {momentum} not in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = TrainConfig::new(5, 1);
+        assert_eq!(c.epochs, 5);
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.learning_rate, 0.1);
+        assert_eq!(c.momentum, 0.9);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = TrainConfig::new(1, 0)
+            .with_batch_size(32)
+            .with_learning_rate(0.01)
+            .with_momentum(0.0);
+        assert_eq!(c.batch_size, 32);
+        assert_eq!(c.learning_rate, 0.01);
+        assert_eq!(c.momentum, 0.0);
+        let d = TrainConfig::new(1, 0).with_lr_decay(0.95);
+        assert_eq!(d.lr_decay, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "lr decay")]
+    fn decay_above_one_rejected() {
+        TrainConfig::new(1, 0).with_lr_decay(1.5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = TrainConfig::new(3, 9);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TrainConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch")]
+    fn zero_epochs_rejected() {
+        TrainConfig::new(0, 0);
+    }
+}

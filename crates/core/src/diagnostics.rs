@@ -1,0 +1,171 @@
+//! Gradient-masking diagnostics.
+//!
+//! The paper's motivation for adversarial training is that — unlike
+//! shield-style defenses — it "does not rely on the false sense of
+//! security brought by obfuscated gradient" (Athalye et al., 2018). This
+//! module turns Athalye's behavioural checklist into executable checks,
+//! so any trainer added to this crate can be audited for masking:
+//!
+//! 1. **iterative ≥ single-step**: a BIM attack must be at least as strong
+//!    as FGSM; if FGSM beats BIM, gradients are being obfuscated.
+//! 2. **white-box ≥ black-box noise**: a gradient attack must beat random
+//!    noise of the same budget.
+//! 3. **monotone in ε**: more budget can only help the attacker.
+//! 4. **unbounded ε wins**: at ε close to 1 any model must fail — 100%
+//!    "robustness" there means the attack (not the model) is broken.
+
+use crate::eval::evaluate_accuracy;
+use serde::{Deserialize, Serialize};
+use simpadv_attacks::{Attack, Bim, Fgsm, RandomNoise};
+use simpadv_data::Dataset;
+use simpadv_nn::Classifier;
+use std::fmt;
+
+/// Tolerance (absolute accuracy) for the ordering checks: small-sample
+/// evaluation noise should not flag a healthy model.
+const TOL: f32 = 0.03;
+
+/// One diagnostic check's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosticCheck {
+    /// Check name.
+    pub name: String,
+    /// Human-readable measured evidence.
+    pub evidence: String,
+    /// Whether the behaviour is consistent with honest gradients.
+    pub passed: bool,
+}
+
+/// The full masking audit of one classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaskingReport {
+    /// Outcomes in checklist order.
+    pub checks: Vec<DiagnosticCheck>,
+}
+
+impl MaskingReport {
+    /// Whether every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+}
+
+impl fmt::Display for MaskingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "gradient-masking audit:")?;
+        for c in &self.checks {
+            writeln!(f, "  [{}] {} — {}", if c.passed { "ok" } else { "!!" }, c.name, c.evidence)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the four-check audit against a trained classifier.
+///
+/// `epsilon` is the budget the model claims robustness at; `seed` feeds
+/// the stochastic baselines.
+pub fn audit_masking(
+    clf: &mut Classifier,
+    data: &Dataset,
+    epsilon: f32,
+    seed: u64,
+) -> MaskingReport {
+    let mut checks = Vec::new();
+
+    let acc = |clf: &mut Classifier, attack: &mut dyn Attack| evaluate_accuracy(clf, data, attack);
+
+    // 1. iterative >= single-step
+    let mut fgsm = Fgsm::new(epsilon);
+    let mut bim = Bim::new(epsilon, 10);
+    let a_fgsm = acc(clf, &mut fgsm);
+    let a_bim = acc(clf, &mut bim);
+    checks.push(DiagnosticCheck {
+        name: "iterative at least as strong as single-step".into(),
+        evidence: format!("acc FGSM {:.3} vs BIM(10) {:.3}", a_fgsm, a_bim),
+        passed: a_bim <= a_fgsm + TOL,
+    });
+
+    // 2. white-box >= black-box noise
+    let mut noise = RandomNoise::new(epsilon, seed);
+    let a_noise = acc(clf, &mut noise);
+    checks.push(DiagnosticCheck {
+        name: "gradient attack at least as strong as random noise".into(),
+        evidence: format!("acc noise {:.3} vs FGSM {:.3}", a_noise, a_fgsm),
+        passed: a_fgsm <= a_noise + TOL,
+    });
+
+    // 3. monotone in epsilon
+    let grid = [0.25 * epsilon, 0.5 * epsilon, epsilon];
+    let mut series = Vec::new();
+    for &e in &grid {
+        let mut atk = Bim::new(e, 10);
+        series.push(acc(clf, &mut atk));
+    }
+    let monotone = series.windows(2).all(|w| w[1] <= w[0] + TOL);
+    checks.push(DiagnosticCheck {
+        name: "attack strength monotone in epsilon".into(),
+        evidence: format!("acc at eps x {{0.25, 0.5, 1}}: {series:.3?}"),
+        passed: monotone,
+    });
+
+    // 4. unbounded budget wins
+    let mut huge = Bim::new(0.95, 20);
+    let a_huge = acc(clf, &mut huge);
+    checks.push(DiagnosticCheck {
+        name: "near-unbounded attack reaches near-zero accuracy".into(),
+        evidence: format!("acc at eps 0.95: {:.3}", a_huge),
+        passed: a_huge < 0.2,
+    });
+
+    MaskingReport { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::model::ModelSpec;
+    use crate::train::{ProposedTrainer, Trainer, VanillaTrainer};
+    use simpadv_data::{SynthConfig, SynthDataset};
+
+    #[test]
+    fn vanilla_model_passes_the_audit() {
+        // vanilla models are weak, not masked: all checks should pass
+        let train = SynthDataset::Mnist.generate(&SynthConfig::new(200, 1));
+        let test = SynthDataset::Mnist.generate(&SynthConfig::new(100, 2));
+        let mut clf = ModelSpec::small_mlp().build(0);
+        VanillaTrainer::new().train(&mut clf, &train, &TrainConfig::new(6, 0));
+        let report = audit_masking(&mut clf, &test, 0.3, 7);
+        assert_eq!(report.checks.len(), 4);
+        assert!(report.all_passed(), "{report}");
+    }
+
+    #[test]
+    fn proposed_defense_is_not_masked() {
+        // the paper's central claim rests on adversarial training giving
+        // real (not obfuscated-gradient) robustness — audit it
+        let train = SynthDataset::Mnist.generate(&SynthConfig::new(300, 1));
+        let test = SynthDataset::Mnist.generate(&SynthConfig::new(150, 2));
+        let mut clf = ModelSpec::default_mlp().build(0);
+        ProposedTrainer::paper_defaults(0.3)
+            .train(&mut clf, &train, &TrainConfig::new(25, 0).with_lr_decay(0.95));
+        let report = audit_masking(&mut clf, &test, 0.3, 7);
+        assert!(report.all_passed(), "{report}");
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = MaskingReport {
+            checks: vec![DiagnosticCheck {
+                name: "x".into(),
+                evidence: "y".into(),
+                passed: false,
+            }],
+        };
+        assert!(!report.all_passed());
+        assert!(report.to_string().contains("!!"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MaskingReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,150 @@
+//! Robustness evaluation: accuracy under attack.
+
+use serde::{Deserialize, Serialize};
+use simpadv_attacks::{Attack, Bim, Fgsm};
+use simpadv_data::Dataset;
+use simpadv_nn::{accuracy, Classifier, GradientModel};
+use std::fmt;
+
+/// Batch size used when generating evaluation attacks (keeps peak memory
+/// flat regardless of test-set size).
+pub(crate) const EVAL_BATCH: usize = 100;
+
+/// Clean test accuracy of a classifier.
+pub fn evaluate_clean(clf: &mut Classifier, data: &Dataset) -> f32 {
+    let mut correct = 0usize;
+    for (_, x, y) in data.batches_sequential(EVAL_BATCH) {
+        let logits = clf.logits(&x);
+        correct += (accuracy(&logits, &y) * y.len() as f32).round() as usize;
+    }
+    correct as f32 / data.len().max(1) as f32
+}
+
+/// White-box accuracy of a classifier under an attack: adversarial
+/// examples are generated against `clf` itself, batch by batch.
+pub fn evaluate_accuracy(clf: &mut Classifier, data: &Dataset, attack: &mut dyn Attack) -> f32 {
+    let mut correct = 0usize;
+    for (_, x, y) in data.batches_sequential(EVAL_BATCH) {
+        let adv = attack.perturb(clf, &x, &y);
+        let logits = clf.logits(&adv);
+        correct += (accuracy(&logits, &y) * y.len() as f32).round() as usize;
+    }
+    correct as f32 / data.len().max(1) as f32
+}
+
+/// One row of an evaluation table: the classifier's accuracy on every
+/// attack column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Column names (attack ids, `"original"` for clean accuracy).
+    pub columns: Vec<String>,
+    /// Accuracy per column, in `[0, 1]`.
+    pub accuracies: Vec<f32>,
+}
+
+impl EvalResult {
+    /// Accuracy for a named column.
+    pub fn get(&self, column: &str) -> Option<f32> {
+        self.columns.iter().position(|c| c == column).map(|i| self.accuracies[i])
+    }
+}
+
+impl fmt::Display for EvalResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, a) in self.columns.iter().zip(&self.accuracies) {
+            writeln!(f, "{c:>12}: {:6.2}%", a * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// A reusable battery of evaluation attacks — the column set of the
+/// paper's Table I: Original, FGSM, BIM(10), BIM(30).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSuite {
+    epsilon: f32,
+}
+
+impl EvalSuite {
+    /// The paper's evaluation battery at budget `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn paper(epsilon: f32) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid epsilon {epsilon}");
+        EvalSuite { epsilon }
+    }
+
+    /// Runs the battery against a classifier.
+    pub fn run(&self, clf: &mut Classifier, data: &Dataset) -> EvalResult {
+        let mut columns = vec!["original".to_string()];
+        let mut accuracies = vec![evaluate_clean(clf, data)];
+        let mut attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(Fgsm::new(self.epsilon)),
+            Box::new(Bim::new(self.epsilon, 10)),
+            Box::new(Bim::new(self.epsilon, 30)),
+        ];
+        for attack in attacks.iter_mut() {
+            columns.push(attack.id());
+            accuracies.push(evaluate_accuracy(clf, data, attack.as_mut()));
+        }
+        EvalResult { columns, accuracies }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::model::ModelSpec;
+    use crate::train::{Trainer, VanillaTrainer};
+    use simpadv_data::{SynthConfig, SynthDataset};
+
+    fn trained() -> (Classifier, Dataset) {
+        let train = SynthDataset::Mnist.generate(&SynthConfig::new(200, 1));
+        let test = SynthDataset::Mnist.generate(&SynthConfig::new(100, 2));
+        let mut clf = ModelSpec::small_mlp().build(0);
+        VanillaTrainer::new().train(&mut clf, &train, &TrainConfig::new(8, 0));
+        (clf, test)
+    }
+
+    #[test]
+    fn clean_above_attacked_for_vanilla() {
+        let (mut clf, test) = trained();
+        let clean = evaluate_clean(&mut clf, &test);
+        let mut fgsm = Fgsm::new(0.3);
+        let attacked = evaluate_accuracy(&mut clf, &test, &mut fgsm);
+        assert!(clean > 0.85, "clean accuracy {clean}");
+        assert!(attacked < clean, "FGSM must hurt a vanilla model");
+    }
+
+    #[test]
+    fn bim_hurts_vanilla_more_than_fgsm() {
+        let (mut clf, test) = trained();
+        let mut fgsm = Fgsm::new(0.3);
+        let mut bim = Bim::new(0.3, 10);
+        let a_fgsm = evaluate_accuracy(&mut clf, &test, &mut fgsm);
+        let a_bim = evaluate_accuracy(&mut clf, &test, &mut bim);
+        assert!(a_bim <= a_fgsm + 1e-6, "BIM(10) ({a_bim}) vs FGSM ({a_fgsm})");
+    }
+
+    #[test]
+    fn suite_produces_paper_columns() {
+        let (mut clf, test) = trained();
+        let result = EvalSuite::paper(0.3).run(&mut clf, &test);
+        assert_eq!(result.columns, vec!["original", "fgsm", "bim(10)", "bim(30)"]);
+        assert_eq!(result.accuracies.len(), 4);
+        assert!(result.get("original").unwrap() > result.get("bim(30)").unwrap());
+        assert!(result.get("nonexistent").is_none());
+        assert!(!result.to_string().is_empty());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let (mut clf, test) = trained();
+        let a = EvalSuite::paper(0.3).run(&mut clf, &test);
+        let b = EvalSuite::paper(0.3).run(&mut clf, &test);
+        assert_eq!(a, b);
+    }
+}

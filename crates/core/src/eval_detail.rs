@@ -1,0 +1,122 @@
+//! Per-class robustness analysis — which classes a defense actually
+//! protects (the aggregate accuracies of Table I hide this).
+
+use crate::eval::EVAL_BATCH;
+use serde::{Deserialize, Serialize};
+use simpadv_attacks::Attack;
+use simpadv_data::Dataset;
+use simpadv_nn::{Classifier, ConfusionMatrix, GradientModel};
+use std::fmt;
+
+/// A per-class breakdown of accuracy under one attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    /// The attack id (`"clean"` for unattacked inputs).
+    pub attack: String,
+    /// Per-class recall (accuracy restricted to that true class);
+    /// `None` when the class had no test examples.
+    pub recall: Vec<Option<f32>>,
+    /// Overall accuracy.
+    pub overall: f32,
+}
+
+impl ClassBreakdown {
+    /// The class with the worst (lowest) recall, ignoring unseen classes.
+    pub fn weakest_class(&self) -> Option<usize> {
+        self.recall
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|v| (i, v)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("recalls are finite"))
+            .map(|(i, _)| i)
+    }
+}
+
+impl fmt::Display for ClassBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>10}: overall {:5.1}% |", self.attack, self.overall * 100.0)?;
+        for r in &self.recall {
+            match r {
+                Some(v) => write!(f, "{:>6.0}%", v * 100.0)?,
+                None => write!(f, "{:>7}", "-")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates per-class robustness under an attack by accumulating a
+/// confusion matrix over adversarial inputs.
+pub fn class_breakdown(
+    clf: &mut Classifier,
+    data: &Dataset,
+    attack: Option<&mut dyn Attack>,
+) -> ClassBreakdown {
+    let classes = data.num_classes();
+    let mut matrix = ConfusionMatrix::new(classes);
+    let mut attack = attack;
+    for (_, x, y) in data.batches_sequential(EVAL_BATCH) {
+        let inputs = match attack.as_deref_mut() {
+            Some(a) => a.perturb(clf, &x, &y),
+            None => x,
+        };
+        let preds = clf.logits(&inputs).argmax_rows();
+        for (&truth, pred) in y.iter().zip(preds) {
+            matrix.record(truth, pred);
+        }
+    }
+    let recall = (0..classes).map(|c| matrix.recall(c)).collect();
+    ClassBreakdown {
+        attack: attack.map_or_else(|| "clean".to_string(), |a| a.id()),
+        recall,
+        overall: matrix.accuracy(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::model::ModelSpec;
+    use crate::train::{Trainer, VanillaTrainer};
+    use simpadv_attacks::Fgsm;
+    use simpadv_data::{SynthConfig, SynthDataset};
+
+    #[test]
+    fn clean_breakdown_matches_suite() {
+        let train = SynthDataset::Mnist.generate(&SynthConfig::new(200, 1));
+        let test = SynthDataset::Mnist.generate(&SynthConfig::new(100, 2));
+        let mut clf = ModelSpec::small_mlp().build(0);
+        VanillaTrainer::new().train(&mut clf, &train, &TrainConfig::new(6, 0));
+        let b = class_breakdown(&mut clf, &test, None);
+        assert_eq!(b.attack, "clean");
+        assert_eq!(b.recall.len(), 10);
+        let expected = crate::eval::evaluate_clean(&mut clf, &test);
+        assert!((b.overall - expected).abs() < 1e-6);
+        assert!(!b.to_string().is_empty());
+    }
+
+    #[test]
+    fn attacked_breakdown_is_weaker() {
+        let train = SynthDataset::Mnist.generate(&SynthConfig::new(200, 1));
+        let test = SynthDataset::Mnist.generate(&SynthConfig::new(100, 2));
+        let mut clf = ModelSpec::small_mlp().build(0);
+        VanillaTrainer::new().train(&mut clf, &train, &TrainConfig::new(6, 0));
+        let clean = class_breakdown(&mut clf, &test, None);
+        let mut fgsm = Fgsm::new(0.3);
+        let attacked = class_breakdown(&mut clf, &test, Some(&mut fgsm));
+        assert_eq!(attacked.attack, "fgsm");
+        assert!(attacked.overall < clean.overall);
+        assert!(attacked.weakest_class().is_some());
+    }
+
+    #[test]
+    fn weakest_class_on_synthetic_matrix() {
+        let b = ClassBreakdown {
+            attack: "x".into(),
+            recall: vec![Some(0.9), None, Some(0.2), Some(0.5)],
+            overall: 0.5,
+        };
+        assert_eq!(b.weakest_class(), Some(2));
+    }
+}

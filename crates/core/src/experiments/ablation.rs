@@ -1,0 +1,106 @@
+//! Ablation of the proposed method's design choices (beyond the paper's
+//! exhibits, motivated by its Section IV reasoning):
+//!
+//! * **per-epoch step size** — property 1 says tiny steps are wasted and
+//!   Section IV argues for a *relatively large* step;
+//! * **reset period** — Section IV introduces the periodic reset to track
+//!   the drifting classifier.
+
+use super::common::{pct, ExperimentScale};
+use crate::eval::{evaluate_accuracy, evaluate_clean};
+use crate::model::ModelSpec;
+use crate::train::{ProposedTrainer, Trainer};
+use serde::{Deserialize, Serialize};
+use simpadv_attacks::Bim;
+use simpadv_data::SynthDataset;
+use std::fmt;
+
+/// One ablation variant's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Human-readable variant label.
+    pub variant: String,
+    /// Step size used.
+    pub step: f32,
+    /// Reset period used (`usize::MAX` = never).
+    pub reset_period: usize,
+    /// Clean test accuracy.
+    pub clean: f32,
+    /// Test accuracy under BIM(10).
+    pub robust: f32,
+}
+
+/// Full ablation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// Dataset id.
+    pub dataset: String,
+    /// ε used throughout.
+    pub epsilon: f32,
+    /// Step-size sweep (reset fixed at 20).
+    pub step_sweep: Vec<AblationRow>,
+    /// Reset-period sweep (step fixed at ε/10).
+    pub reset_sweep: Vec<AblationRow>,
+}
+
+impl fmt::Display for AblationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Ablation ({}): proposed-method knobs (eps = {})",
+            self.dataset, self.epsilon
+        )?;
+        writeln!(f, "{:<30}{:>10}{:>10}", "variant", "clean", "bim(10)")?;
+        for row in self.step_sweep.iter().chain(&self.reset_sweep) {
+            writeln!(f, "{:<30}{:>10}{:>10}", row.variant, pct(row.clean), pct(row.robust))?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs both sweeps for one dataset.
+pub fn run(dataset: SynthDataset, scale: &ExperimentScale) -> AblationResult {
+    let (train, test) = scale.load(dataset);
+    let eps = dataset.paper_epsilon();
+    let config = scale.train_config();
+
+    let eval_variant = |label: &str, step: f32, reset: usize| -> AblationRow {
+        let mut clf = ModelSpec::default_mlp().build(scale.seed + 77);
+        ProposedTrainer::new(eps, step, reset).train(&mut clf, &train, &config);
+        let clean = evaluate_clean(&mut clf, &test);
+        let mut bim = Bim::new(eps, 10);
+        let robust = evaluate_accuracy(&mut clf, &test, &mut bim);
+        AblationRow { variant: label.to_string(), step, reset_period: reset, clean, robust }
+    };
+
+    let step_sweep = vec![
+        eval_variant("step=eps/30 (tiny)", eps / 30.0, 20),
+        eval_variant("step=eps/10 (paper)", eps / 10.0, 20),
+        eval_variant("step=eps/4 (large)", eps / 4.0, 20),
+        eval_variant("step=eps (fgsm-like)", eps, 20),
+    ];
+    let reset_sweep = vec![
+        eval_variant("reset every 5", eps / 10.0, 5),
+        eval_variant("reset every 20 (paper)", eps / 10.0, 20),
+        eval_variant("never reset", eps / 10.0, usize::MAX),
+    ];
+    AblationResult { dataset: dataset.id().to_string(), epsilon: eps, step_sweep, reset_sweep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_structure() {
+        let scale = ExperimentScale { train_samples: 120, test_samples: 60, epochs: 3, seed: 6 };
+        let r = run(SynthDataset::Mnist, &scale);
+        assert_eq!(r.step_sweep.len(), 4);
+        assert_eq!(r.reset_sweep.len(), 3);
+        for row in r.step_sweep.iter().chain(&r.reset_sweep) {
+            assert!((0.0..=1.0).contains(&row.clean));
+            assert!((0.0..=1.0).contains(&row.robust));
+        }
+        assert!(r.to_string().contains("Ablation"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared experiment infrastructure: workload scales and the four "probe"
+//! classifiers that Sections II–III of the paper study.
+
+use crate::config::TrainConfig;
+use crate::model::ModelSpec;
+use crate::report::TrainReport;
+use crate::train::{BimAdvTrainer, FgsmAdvTrainer, Trainer, VanillaTrainer};
+use serde::{Deserialize, Serialize};
+use simpadv_data::{Dataset, SynthConfig, SynthDataset};
+use simpadv_nn::Classifier;
+
+/// Workload size of an experiment run.
+///
+/// `quick` is the default for the regeneration binaries (minutes on one
+/// CPU core); `full` takes proportionally longer and tightens the
+/// estimates without changing any qualitative outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Training-set size per dataset.
+    pub train_samples: usize,
+    /// Test-set size per dataset.
+    pub test_samples: usize,
+    /// Training epochs for every method.
+    pub epochs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The default scale used by the `fig1`/`fig2`/`table1` binaries.
+    pub fn quick() -> Self {
+        ExperimentScale { train_samples: 1000, test_samples: 400, epochs: 60, seed: 2019 }
+    }
+
+    /// A larger, slower scale.
+    pub fn full() -> Self {
+        ExperimentScale { train_samples: 2000, test_samples: 800, epochs: 100, seed: 2019 }
+    }
+
+    /// A tiny scale for integration tests.
+    pub fn smoke() -> Self {
+        ExperimentScale { train_samples: 200, test_samples: 100, epochs: 6, seed: 2019 }
+    }
+
+    /// Generates the train/test pair for a dataset under this scale.
+    pub fn load(&self, dataset: SynthDataset) -> (Dataset, Dataset) {
+        let train = dataset.generate(&SynthConfig::new(self.train_samples, self.seed));
+        let test = dataset.generate(&SynthConfig::new(self.test_samples, self.seed + 1));
+        (train, test)
+    }
+
+    /// The training config shared by every method at this scale: SGD with
+    /// momentum and a gentle exponential learning-rate decay (robust
+    /// losses converge slowly at a constant rate).
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig::new(self.epochs, self.seed + 2).with_lr_decay(0.97)
+    }
+}
+
+/// The four classifiers Sections II–III probe: Vanilla, FGSM-Adv,
+/// BIM(10)-Adv and BIM(30)-Adv, trained on the same data with the same
+/// hyper-parameters.
+pub struct ProbeClassifiers {
+    /// `(display name, classifier, training report)` in the paper's order.
+    pub entries: Vec<(String, Classifier, TrainReport)>,
+}
+
+/// Trains the probe classifiers for a dataset at the given scale.
+pub fn train_probe_classifiers(
+    dataset: SynthDataset,
+    scale: &ExperimentScale,
+    train: &Dataset,
+) -> ProbeClassifiers {
+    let eps = dataset.paper_epsilon();
+    let config = scale.train_config();
+    let spec = ModelSpec::default_mlp();
+    let mut trainers: Vec<(String, Box<dyn Trainer>)> = vec![
+        ("vanilla".into(), Box::new(VanillaTrainer::new())),
+        ("fgsm-adv".into(), Box::new(FgsmAdvTrainer::new(eps))),
+        ("bim(10)-adv".into(), Box::new(BimAdvTrainer::new(eps, 10))),
+        ("bim(30)-adv".into(), Box::new(BimAdvTrainer::new(eps, 30))),
+    ];
+    let mut entries = Vec::new();
+    for (i, (name, trainer)) in trainers.iter_mut().enumerate() {
+        let mut clf = spec.build(scale.seed + 10 + i as u64);
+        let report = trainer.train(&mut clf, train, &config);
+        entries.push((name.clone(), clf, report));
+    }
+    ProbeClassifiers { entries }
+}
+
+/// Formats a fraction as a percentage with two decimals, as in the paper's
+/// tables.
+pub(crate) fn pct(v: f32) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = ExperimentScale::quick();
+        let f = ExperimentScale::full();
+        let s = ExperimentScale::smoke();
+        assert!(s.train_samples < q.train_samples && q.train_samples < f.train_samples);
+        assert!(s.epochs < q.epochs && q.epochs < f.epochs);
+    }
+
+    #[test]
+    fn load_generates_disjoint_seeded_sets() {
+        let s = ExperimentScale::smoke();
+        let (train, test) = s.load(SynthDataset::Mnist);
+        assert_eq!(train.len(), 200);
+        assert_eq!(test.len(), 100);
+        assert_ne!(train.images().row(0), test.images().row(0));
+    }
+
+    #[test]
+    fn probe_training_produces_four_classifiers() {
+        let s = ExperimentScale { train_samples: 100, test_samples: 50, epochs: 2, seed: 1 };
+        let (train, _) = s.load(SynthDataset::Mnist);
+        let probes = train_probe_classifiers(SynthDataset::Mnist, &s, &train);
+        assert_eq!(probes.entries.len(), 4);
+        assert_eq!(probes.entries[0].0, "vanilla");
+        assert_eq!(probes.entries[3].0, "bim(30)-adv");
+        // cost ordering: vanilla < fgsm-adv < bim(10) < bim(30)
+        let passes: Vec<f64> =
+            probes.entries.iter().map(|(_, _, r)| r.mean_gradient_passes()).collect();
+        assert!(passes[0] < passes[1] && passes[1] < passes[2] && passes[2] < passes[3]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9921), "99.21%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 1: test accuracy on BIM examples as a function of the attack's
+//! iteration count `N` (total ε fixed, per-step size ε/N).
+//!
+//! The paper's reading (Section II): curves converge quickly in `N` —
+//! per-step perturbations below a limit stop making the attack stronger —
+//! and only the Iter-Adv classifiers stay above random guessing.
+
+use super::common::{pct, train_probe_classifiers, ExperimentScale};
+use crate::eval::evaluate_accuracy;
+use serde::{Deserialize, Serialize};
+use simpadv_attacks::Bim;
+use simpadv_data::SynthDataset;
+use std::fmt;
+
+/// The attack iteration counts swept on the x-axis.
+pub const ITERATION_GRID: [usize; 10] = [1, 2, 3, 4, 5, 7, 10, 15, 20, 30];
+
+/// Result of the Figure 1 experiment for one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// Dataset id (`"mnist"` / `"fashion"`).
+    pub dataset: String,
+    /// Total perturbation ε.
+    pub epsilon: f32,
+    /// The swept iteration counts.
+    pub iterations: Vec<usize>,
+    /// `(classifier name, accuracy per iteration count)`.
+    pub series: Vec<(String, Vec<f32>)>,
+}
+
+impl Fig1Result {
+    /// The accuracy series for a named classifier.
+    pub fn series_for(&self, name: &str) -> Option<&[f32]> {
+        self.series.iter().find(|(n, _)| n == name).map(|(_, s)| s.as_slice())
+    }
+}
+
+impl fmt::Display for Fig1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 1 ({}): test accuracy vs BIM iterations (eps = {})",
+            self.dataset, self.epsilon
+        )?;
+        write!(f, "{:>14}", "N")?;
+        for n in &self.iterations {
+            write!(f, "{n:>9}")?;
+        }
+        writeln!(f)?;
+        for (name, accs) in &self.series {
+            write!(f, "{name:>14}")?;
+            for a in accs {
+                write!(f, "{:>9}", pct(*a))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs Figure 1 for one dataset at the given scale.
+pub fn run(dataset: SynthDataset, scale: &ExperimentScale) -> Fig1Result {
+    let (train, test) = scale.load(dataset);
+    let eps = dataset.paper_epsilon();
+    let mut probes = train_probe_classifiers(dataset, scale, &train);
+    let iterations: Vec<usize> = ITERATION_GRID.to_vec();
+    let mut series = Vec::new();
+    for (name, clf, _) in probes.entries.iter_mut() {
+        let mut accs = Vec::with_capacity(iterations.len());
+        for &n in &iterations {
+            let mut attack = Bim::new(eps, n); // step = eps / n
+            accs.push(evaluate_accuracy(clf, &test, &mut attack));
+        }
+        series.push((name.clone(), accs));
+    }
+    Fig1Result { dataset: dataset.id().to_string(), epsilon: eps, iterations, series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_has_expected_shape() {
+        let scale = ExperimentScale { train_samples: 150, test_samples: 60, epochs: 4, seed: 3 };
+        let r = run(SynthDataset::Mnist, &scale);
+        assert_eq!(r.series.len(), 4);
+        assert_eq!(r.iterations.len(), ITERATION_GRID.len());
+        for (_, accs) in &r.series {
+            assert_eq!(accs.len(), ITERATION_GRID.len());
+            assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
+        }
+        assert!(r.series_for("vanilla").is_some());
+        assert!(r.series_for("nope").is_none());
+        assert!(r.to_string().contains("Figure 1"));
+    }
+}

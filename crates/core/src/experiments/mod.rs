@@ -1,0 +1,16 @@
+//! Experiment runners: one module per figure/table of the paper.
+//!
+//! Each runner owns its workload definition, returns a serializable result
+//! struct, and renders the same rows/series the paper reports. The
+//! `simpadv-bench` binaries (`fig1`, `fig2`, `table1`) are thin wrappers
+//! around these.
+
+pub mod ablation;
+mod common;
+pub mod convergence;
+pub mod fig1;
+pub mod fig2;
+pub mod security_curve;
+pub mod table1;
+
+pub use common::{train_probe_classifiers, ExperimentScale, ProbeClassifiers};

@@ -1,0 +1,159 @@
+//! Table I: the head-to-head evaluation of every defensive method —
+//! accuracy on Original / FGSM / BIM(10) / BIM(30) inputs for both
+//! datasets, plus training cost per epoch.
+//!
+//! The paper's reading (Section V): the proposed method matches or beats
+//! the Iter-Adv methods' robustness at Single-Adv cost, and beats ATDA on
+//! every adversarial column while training faster.
+
+use super::common::{pct, ExperimentScale};
+use crate::eval::{EvalResult, EvalSuite};
+use crate::model::ModelSpec;
+use crate::report::TrainReport;
+use crate::train::{AtdaTrainer, BimAdvTrainer, FgsmAdvTrainer, ProposedTrainer, Trainer};
+use serde::{Deserialize, Serialize};
+use simpadv_data::SynthDataset;
+use std::fmt;
+
+/// One method's row: per-dataset evaluation plus cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Method name as in the paper ("FGSM-Adv", "ATDA", "Proposed", ...).
+    pub method: String,
+    /// Evaluation per dataset id, in dataset order.
+    pub evals: Vec<(String, EvalResult)>,
+    /// Mean wall-clock seconds per training epoch, averaged over datasets.
+    pub seconds_per_epoch: f64,
+    /// Mean gradient passes (fwd+bwd) per epoch — machine-independent cost.
+    pub gradient_passes_per_epoch: f64,
+}
+
+/// The complete Table I reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// Dataset ids in column order.
+    pub datasets: Vec<String>,
+    /// Method rows, in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// The row for a named method.
+    pub fn row(&self, method: &str) -> Option<&Table1Row> {
+        self.rows.iter().find(|r| r.method == method)
+    }
+}
+
+impl fmt::Display for Table1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I: accuracy per attack column and training cost")?;
+        write!(f, "{:>14}", "method")?;
+        for ds in &self.datasets {
+            for col in ["orig", "fgsm", "bim10", "bim30"] {
+                write!(f, "{:>9}", format!("{ds_short}:{col}", ds_short = &ds[..2]))?;
+            }
+        }
+        writeln!(f, "{:>10}{:>12}", "s/epoch", "passes/ep")?;
+        for row in &self.rows {
+            write!(f, "{:>14}", row.method)?;
+            for (_, eval) in &row.evals {
+                for a in &eval.accuracies {
+                    write!(f, "{:>9}", pct(*a))?;
+                }
+            }
+            writeln!(
+                f,
+                "{:>10.3}{:>12.0}",
+                row.seconds_per_epoch, row.gradient_passes_per_epoch
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full Table I experiment at the given scale.
+pub fn run(scale: &ExperimentScale) -> Table1Result {
+    let datasets = [SynthDataset::Mnist, SynthDataset::Fashion];
+    let methods: Vec<(String, MethodKind)> = vec![
+        ("FGSM-Adv".into(), MethodKind::FgsmAdv),
+        ("ATDA".into(), MethodKind::Atda),
+        ("Proposed".into(), MethodKind::Proposed),
+        ("BIM(10)-Adv".into(), MethodKind::BimAdv(10)),
+        ("BIM(30)-Adv".into(), MethodKind::BimAdv(30)),
+    ];
+    let mut rows = Vec::new();
+    for (mi, (name, kind)) in methods.iter().enumerate() {
+        let mut evals = Vec::new();
+        let mut reports: Vec<TrainReport> = Vec::new();
+        for dataset in datasets {
+            let (train, test) = scale.load(dataset);
+            let eps = dataset.paper_epsilon();
+            let mut trainer = kind.build(eps);
+            let mut clf = ModelSpec::default_mlp().build(scale.seed + 100 + mi as u64);
+            let report = trainer.train(&mut clf, &train, &scale.train_config());
+            let eval = EvalSuite::paper(eps).run(&mut clf, &test);
+            evals.push((dataset.id().to_string(), eval));
+            reports.push(report);
+        }
+        let seconds =
+            reports.iter().map(TrainReport::mean_epoch_seconds).sum::<f64>() / reports.len() as f64;
+        let passes = reports.iter().map(TrainReport::mean_gradient_passes).sum::<f64>()
+            / reports.len() as f64;
+        rows.push(Table1Row {
+            method: name.clone(),
+            evals,
+            seconds_per_epoch: seconds,
+            gradient_passes_per_epoch: passes,
+        });
+    }
+    Table1Result { datasets: datasets.iter().map(|d| d.id().to_string()).collect(), rows }
+}
+
+/// Which method a row trains (ε is dataset-dependent, so rows rebuild
+/// their trainer per dataset).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MethodKind {
+    FgsmAdv,
+    Atda,
+    Proposed,
+    BimAdv(usize),
+}
+
+impl MethodKind {
+    fn build(self, eps: f32) -> Box<dyn Trainer> {
+        match self {
+            MethodKind::FgsmAdv => Box::new(FgsmAdvTrainer::new(eps)),
+            MethodKind::Atda => Box::new(AtdaTrainer::new(eps)),
+            MethodKind::Proposed => Box::new(ProposedTrainer::paper_defaults(eps)),
+            MethodKind::BimAdv(k) => Box::new(BimAdvTrainer::new(eps, k)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_has_paper_structure() {
+        let scale = ExperimentScale { train_samples: 120, test_samples: 60, epochs: 3, seed: 5 };
+        let r = run(&scale);
+        assert_eq!(r.datasets, vec!["mnist", "fashion"]);
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.rows[0].method, "FGSM-Adv");
+        assert_eq!(r.rows[2].method, "Proposed");
+        for row in &r.rows {
+            assert_eq!(row.evals.len(), 2);
+            for (_, eval) in &row.evals {
+                assert_eq!(eval.columns.len(), 4);
+            }
+            assert!(row.seconds_per_epoch > 0.0);
+        }
+        // cost accounting: Single-Adv methods cheaper than Iter-Adv
+        let prop = r.row("Proposed").unwrap().gradient_passes_per_epoch;
+        let bim30 = r.row("BIM(30)-Adv").unwrap().gradient_passes_per_epoch;
+        assert!(prop < bim30 / 3.0, "proposed {prop} vs bim30 {bim30}");
+        assert!(r.to_string().contains("Table I"));
+        assert!(r.row("nope").is_none());
+    }
+}

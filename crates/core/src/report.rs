@@ -1,0 +1,117 @@
+//! Training reports: per-epoch losses, wall-clock times and gradient-pass
+//! counts.
+
+use serde::{Deserialize, Serialize};
+
+/// What a [`crate::train::Trainer`] hands back.
+///
+/// Two cost measures are recorded:
+///
+/// * **wall-clock seconds per epoch** — the quantity Table I of the paper
+///   reports;
+/// * **gradient passes per epoch** (forward + backward) — an
+///   architecture- and machine-independent measure that makes the cost
+///   ratios between methods exactly verifiable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Identifier of the trainer that produced this report.
+    pub trainer_id: String,
+    /// Mean training loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock duration of each epoch in seconds.
+    pub epoch_seconds: Vec<f64>,
+    /// Forward passes per epoch.
+    pub forward_passes: Vec<u64>,
+    /// Backward passes per epoch.
+    pub backward_passes: Vec<u64>,
+}
+
+impl TrainReport {
+    /// Creates an empty report for the given trainer.
+    pub fn new(trainer_id: impl Into<String>) -> Self {
+        TrainReport {
+            trainer_id: trainer_id.into(),
+            epoch_losses: Vec::new(),
+            epoch_seconds: Vec::new(),
+            forward_passes: Vec::new(),
+            backward_passes: Vec::new(),
+        }
+    }
+
+    /// Records one epoch.
+    pub fn push_epoch(&mut self, loss: f32, seconds: f64, forward: u64, backward: u64) {
+        self.epoch_losses.push(loss);
+        self.epoch_seconds.push(seconds);
+        self.forward_passes.push(forward);
+        self.backward_passes.push(backward);
+    }
+
+    /// Number of recorded epochs.
+    pub fn epochs(&self) -> usize {
+        self.epoch_losses.len()
+    }
+
+    /// Mean wall-clock seconds per epoch (0 when empty).
+    pub fn mean_epoch_seconds(&self) -> f64 {
+        if self.epoch_seconds.is_empty() {
+            0.0
+        } else {
+            self.epoch_seconds.iter().sum::<f64>() / self.epoch_seconds.len() as f64
+        }
+    }
+
+    /// Mean gradient passes (forward + backward) per epoch.
+    pub fn mean_gradient_passes(&self) -> f64 {
+        if self.forward_passes.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .forward_passes
+            .iter()
+            .zip(&self.backward_passes)
+            .map(|(f, b)| f + b)
+            .sum();
+        total as f64 / self.forward_passes.len() as f64
+    }
+
+    /// The final epoch's training loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty report.
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().expect("empty report")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_epochs() {
+        let mut r = TrainReport::new("test");
+        r.push_epoch(1.0, 0.5, 10, 10);
+        r.push_epoch(0.5, 0.7, 10, 10);
+        assert_eq!(r.epochs(), 2);
+        assert_eq!(r.final_loss(), 0.5);
+        assert!((r.mean_epoch_seconds() - 0.6).abs() < 1e-9);
+        assert_eq!(r.mean_gradient_passes(), 20.0);
+    }
+
+    #[test]
+    fn empty_report_means_are_zero() {
+        let r = TrainReport::new("x");
+        assert_eq!(r.mean_epoch_seconds(), 0.0);
+        assert_eq!(r.mean_gradient_passes(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = TrainReport::new("t");
+        r.push_epoch(0.3, 1.25, 5, 4);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TrainReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,108 @@
+//! Adversarial training with single-step FGSM examples.
+
+use super::{run_epochs, train_on_mixture, Trainer};
+use crate::config::TrainConfig;
+use crate::report::TrainReport;
+use simpadv_attacks::{Attack, Fgsm};
+use simpadv_data::Dataset;
+use simpadv_nn::Classifier;
+
+/// The original Single-Adv method (Goodfellow et al., 2015): each batch
+/// trains on a mixture of clean examples and FGSM examples generated
+/// against the current model.
+///
+/// Per the paper's Figures 1–2 and Table I, this defends against FGSM but
+/// **collapses against iterative attacks** — the failure the proposed
+/// method fixes at the same per-epoch cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FgsmAdvTrainer {
+    epsilon: f32,
+}
+
+impl FgsmAdvTrainer {
+    /// Creates the trainer with adversarial budget `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(epsilon: f32) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid epsilon {epsilon}");
+        FgsmAdvTrainer { epsilon }
+    }
+
+    /// The training perturbation budget.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+}
+
+impl Trainer for FgsmAdvTrainer {
+    fn train(
+        &mut self,
+        clf: &mut Classifier,
+        data: &Dataset,
+        config: &TrainConfig,
+    ) -> TrainReport {
+        let mut attack = Fgsm::new(self.epsilon);
+        run_epochs(&self.id(), clf, data, config, |clf, opt, _epoch, _idx, x, y| {
+            let adv = attack.perturb(clf, x, y);
+            train_on_mixture(clf, opt, x, &adv, y)
+        })
+    }
+
+    fn id(&self) -> String {
+        "fgsm-adv".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_accuracy;
+    use crate::model::ModelSpec;
+    use simpadv_data::{SynthConfig, SynthDataset};
+    use simpadv_nn::{accuracy, GradientModel};
+
+    #[test]
+    fn resists_fgsm_better_than_vanilla() {
+        let train = SynthDataset::Mnist.generate(&SynthConfig::new(400, 1));
+        let test = SynthDataset::Mnist.generate(&SynthConfig::new(200, 2));
+        let config = TrainConfig::new(40, 0).with_lr_decay(0.95);
+        let eps = 0.3;
+
+        let mut vanilla = ModelSpec::default_mlp().build(0);
+        super::super::VanillaTrainer::new().train(&mut vanilla, &train, &config);
+        let mut defended = ModelSpec::default_mlp().build(0);
+        FgsmAdvTrainer::new(eps).train(&mut defended, &train, &config);
+
+        let mut atk_v = Fgsm::new(eps);
+        let mut atk_d = Fgsm::new(eps);
+        let acc_vanilla = evaluate_accuracy(&mut vanilla, &test, &mut atk_v);
+        let acc_defended = evaluate_accuracy(&mut defended, &test, &mut atk_d);
+        assert!(
+            acc_defended > acc_vanilla + 0.3,
+            "fgsm-adv ({acc_defended}) should beat vanilla ({acc_vanilla}) under FGSM"
+        );
+    }
+
+    #[test]
+    fn keeps_clean_accuracy() {
+        let train = SynthDataset::Mnist.generate(&SynthConfig::new(400, 1));
+        let mut clf = ModelSpec::default_mlp().build(0);
+        FgsmAdvTrainer::new(0.3)
+            .train(&mut clf, &train, &TrainConfig::new(15, 0).with_lr_decay(0.95));
+        let acc = accuracy(&clf.logits(train.images()), train.labels());
+        assert!(acc > 0.9, "clean train accuracy {acc}");
+    }
+
+    #[test]
+    fn costs_one_extra_pass_pair_per_batch() {
+        let data = SynthDataset::Mnist.generate(&SynthConfig::new(64, 1));
+        let mut clf = ModelSpec::small_mlp().build(0);
+        let config = TrainConfig::new(1, 0).with_batch_size(32);
+        let report = FgsmAdvTrainer::new(0.3).train(&mut clf, &data, &config);
+        // per batch: attack (1 fwd + 1 bwd) + train (1 fwd + 1 bwd)
+        assert_eq!(report.forward_passes[0], 4);
+        assert_eq!(report.backward_passes[0], 4);
+    }
+}

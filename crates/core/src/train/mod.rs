@@ -1,0 +1,94 @@
+//! Adversarial-training methods: the paper's proposed trainer and every
+//! baseline it is compared against.
+
+mod atda;
+mod bim_adv;
+mod fgsm_adv;
+mod free_adv;
+mod proposed;
+mod vanilla;
+
+pub use atda::AtdaTrainer;
+pub use bim_adv::BimAdvTrainer;
+pub use fgsm_adv::FgsmAdvTrainer;
+pub use free_adv::FreeAdvTrainer;
+pub use proposed::ProposedTrainer;
+pub use vanilla::VanillaTrainer;
+
+use crate::config::TrainConfig;
+use crate::report::TrainReport;
+use simpadv_data::Dataset;
+use simpadv_nn::{Classifier, Optimizer, Sgd};
+use std::time::Instant;
+
+/// An adversarial-training method.
+///
+/// Implementations differ only in *which examples each batch trains on*;
+/// architecture, optimizer and schedule come from the shared
+/// [`TrainConfig`], keeping the paper's "same hyper-parameter setting"
+/// comparison honest.
+pub trait Trainer {
+    /// Trains `clf` on `data` and reports per-epoch losses, wall-clock
+    /// times and gradient-pass counts.
+    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig)
+        -> TrainReport;
+
+    /// A short identifier such as `"fgsm-adv"` or `"bim(10)-adv"`.
+    fn id(&self) -> String;
+}
+
+/// Shared epoch loop: drives `step` once per batch and handles timing,
+/// pass counting and loss averaging uniformly across trainers.
+///
+/// `step(clf, opt, epoch, indices, images, labels)` performs whatever the
+/// method does with one batch and returns the batch loss it optimized.
+pub(crate) fn run_epochs<F>(
+    trainer_id: &str,
+    clf: &mut Classifier,
+    data: &Dataset,
+    config: &TrainConfig,
+    mut step: F,
+) -> TrainReport
+where
+    F: FnMut(&mut Classifier, &mut dyn Optimizer, usize, &[usize], &simpadv_tensor::Tensor, &[usize]) -> f32,
+{
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut report = TrainReport::new(trainer_id);
+    let mut opt = Sgd::new(config.learning_rate).with_momentum(config.momentum);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for epoch in 0..config.epochs {
+        if config.lr_decay < 1.0 {
+            opt.set_learning_rate(config.learning_rate * config.lr_decay.powi(epoch as i32));
+        }
+        clf.reset_pass_counters();
+        let start = Instant::now();
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        for (idx, images, labels) in data.batches(config.batch_size, &mut rng) {
+            loss_sum += step(clf, &mut opt, epoch, &idx, &images, &labels);
+            batches += 1;
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let loss = if batches > 0 { loss_sum / batches as f32 } else { 0.0 };
+        report.push_epoch(loss, seconds, clf.forward_passes(), clf.backward_passes());
+    }
+    report
+}
+
+/// Trains on the concatenation of the clean batch and pre-built
+/// adversarial examples — the "mixture of original and adversarial
+/// examples" that FGSM-Adv, BIM-Adv and the proposed method all use.
+pub(crate) fn train_on_mixture(
+    clf: &mut Classifier,
+    opt: &mut dyn Optimizer,
+    clean: &simpadv_tensor::Tensor,
+    adv: &simpadv_tensor::Tensor,
+    labels: &[usize],
+) -> f32 {
+    let x = simpadv_tensor::Tensor::concat_rows(&[clean, adv]);
+    let mut y = labels.to_vec();
+    y.extend_from_slice(labels);
+    clf.train_batch(&x, &y, opt)
+}

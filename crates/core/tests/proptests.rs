@@ -1,0 +1,63 @@
+//! Property-based tests for the defense crate's pure logic (configs,
+//! reports, charts) — the heavy training paths are covered by unit and
+//! integration tests.
+
+use proptest::prelude::*;
+use simpadv::chart::render_accuracy_chart;
+use simpadv::{TrainConfig, TrainReport};
+
+proptest! {
+    #[test]
+    fn train_config_builders_accept_valid_ranges(
+        epochs in 1usize..500,
+        batch in 1usize..512,
+        lr in 0.0001f32..1.0,
+        momentum in 0.0f32..0.99,
+        decay in 0.01f32..1.0,
+    ) {
+        let c = TrainConfig::new(epochs, 0)
+            .with_batch_size(batch)
+            .with_learning_rate(lr)
+            .with_momentum(momentum)
+            .with_lr_decay(decay);
+        prop_assert_eq!(c.epochs, epochs);
+        prop_assert_eq!(c.batch_size, batch);
+        prop_assert!((c.learning_rate - lr).abs() < 1e-9);
+        // serde roundtrip is lossless
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TrainConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(c, back);
+    }
+
+    #[test]
+    fn report_means_are_within_observed_range(
+        losses in prop::collection::vec(0.0f32..10.0, 1..20),
+        seconds in prop::collection::vec(0.001f64..5.0, 1..20),
+    ) {
+        let n = losses.len().min(seconds.len());
+        let mut r = TrainReport::new("prop");
+        for i in 0..n {
+            r.push_epoch(losses[i], seconds[i], 10, 10);
+        }
+        let mean = r.mean_epoch_seconds();
+        let lo = seconds[..n].iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = seconds[..n].iter().copied().fold(0.0, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert_eq!(r.mean_gradient_passes(), 20.0);
+        prop_assert_eq!(r.epochs(), n);
+    }
+
+    #[test]
+    fn chart_renders_any_valid_series(
+        values in prop::collection::vec(0.0f32..1.0, 1..12),
+        names in prop::collection::vec("[a-z]{1,8}", 1..4),
+    ) {
+        let labels: Vec<String> = (0..values.len()).map(|i| i.to_string()).collect();
+        let series: Vec<(String, Vec<f32>)> =
+            names.iter().map(|n| (n.clone(), values.clone())).collect();
+        let art = render_accuracy_chart(&labels, &series);
+        // fixed frame: 11 data rows + axis + labels + legend
+        prop_assert_eq!(art.lines().count(), 14);
+        prop_assert!(art.contains("legend:"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Terminal rendering of images — the "plotting" backend of a CPU-only,
+//! dependency-free reproduction.
+
+use simpadv_tensor::Tensor;
+
+/// Renders a flattened square grayscale image as ASCII art.
+///
+/// Four intensity levels, two characters per pixel so terminal aspect
+/// ratio comes out roughly square.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 1 with a square length.
+///
+/// # Example
+///
+/// ```
+/// use simpadv_data::ascii_image;
+/// use simpadv_tensor::Tensor;
+///
+/// let img = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4]);
+/// let art = ascii_image(&img);
+/// assert_eq!(art.lines().count(), 2);
+/// ```
+pub fn ascii_image(image: &Tensor) -> String {
+    assert_eq!(image.rank(), 1, "ascii_image expects a flattened image");
+    let side = (image.len() as f32).sqrt().round() as usize;
+    assert_eq!(side * side, image.len(), "ascii_image expects a square image");
+    let ramp = [' ', '.', 'o', '#'];
+    let mut out = String::with_capacity(side * (2 * side + 1));
+    for y in 0..side {
+        for x in 0..side {
+            let v = image.as_slice()[y * side + x].clamp(0.0, 1.0);
+            let c = ramp[((v * 3.99) as usize).min(3)];
+            out.push(c);
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders two images side by side with a gutter — handy for comparing a
+/// clean example with its adversarial version.
+///
+/// # Panics
+///
+/// Panics if the images have different (non-square) sizes.
+pub fn ascii_pair(left: &Tensor, right: &Tensor) -> String {
+    let la = ascii_image(left);
+    let ra = ascii_image(right);
+    la.lines()
+        .zip(ra.lines())
+        .map(|(l, r)| format!("{l}    {r}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_intensity_ramp() {
+        let img = Tensor::from_vec(vec![0.0, 0.3, 0.6, 1.0], &[4]);
+        let art = ascii_image(&img);
+        assert!(art.contains(' '));
+        assert!(art.contains('.'));
+        assert!(art.contains('o'));
+        assert!(art.contains('#'));
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.lines().all(|l| l.len() == 4));
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let img = Tensor::from_vec(vec![-1.0, 2.0, 0.5, 0.5], &[4]);
+        let art = ascii_image(&img);
+        assert!(art.starts_with("  ##"));
+    }
+
+    #[test]
+    fn pair_lays_out_side_by_side() {
+        let a = Tensor::zeros(&[4]);
+        let b = Tensor::ones(&[4]);
+        let art = ascii_pair(&a, &b);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.lines().all(|l| l.contains("    ")));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        ascii_image(&Tensor::zeros(&[3]));
+    }
+}

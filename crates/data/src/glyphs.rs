@@ -1,0 +1,131 @@
+//! Procedural digit glyphs (the synthetic MNIST stand-in).
+//!
+//! Each digit 0–9 is a small program of polyline strokes in unit
+//! coordinates. Shapes were chosen to match the topology of handwritten
+//! digits (loops, tails, crossings) so that confusions mirror the familiar
+//! MNIST ones (3/5/8, 4/9, 1/7).
+
+use crate::raster::{arc_points, Canvas, Transform};
+use std::f32::consts::{FRAC_PI_2, PI, TAU};
+
+/// Draws the digit `class` (0–9) onto the canvas.
+///
+/// # Panics
+///
+/// Panics if `class > 9`.
+pub(crate) fn draw_digit(canvas: &mut Canvas, class: usize, tf: &Transform, thickness: f32) {
+    let t = thickness;
+    match class {
+        0 => {
+            canvas.stroke_polyline(&arc_points(0.5, 0.5, 0.22, 0.32, 0.0, TAU, 24), tf, t, 1.0);
+        }
+        1 => {
+            canvas.stroke_polyline(&[(0.42, 0.3), (0.52, 0.18), (0.52, 0.82)], tf, t, 1.0);
+        }
+        2 => {
+            let mut pts = arc_points(0.5, 0.33, 0.2, 0.15, -PI, 0.2, 12);
+            pts.push((0.32, 0.8));
+            pts.push((0.72, 0.8));
+            canvas.stroke_polyline(&pts, tf, t, 1.0);
+        }
+        3 => {
+            canvas.stroke_polyline(
+                &arc_points(0.47, 0.34, 0.18, 0.16, -2.4, FRAC_PI_2, 12),
+                tf,
+                t,
+                1.0,
+            );
+            canvas.stroke_polyline(
+                &arc_points(0.47, 0.66, 0.2, 0.16, -FRAC_PI_2, 2.4, 12),
+                tf,
+                t,
+                1.0,
+            );
+        }
+        4 => {
+            canvas.stroke_polyline(&[(0.62, 0.82), (0.62, 0.18), (0.3, 0.6), (0.75, 0.6)], tf, t, 1.0);
+        }
+        5 => {
+            let mut pts = vec![(0.68, 0.2), (0.36, 0.2), (0.34, 0.47)];
+            pts.extend(arc_points(0.48, 0.62, 0.19, 0.17, -FRAC_PI_2, 2.6, 12));
+            canvas.stroke_polyline(&pts, tf, t, 1.0);
+        }
+        6 => {
+            let mut pts = vec![(0.62, 0.18)];
+            pts.extend(arc_points(0.48, 0.62, 0.17, 0.17, -2.4, 2.0, 16));
+            canvas.stroke_polyline(&pts, tf, t, 1.0);
+            canvas.stroke_polyline(
+                &arc_points(0.48, 0.62, 0.17, 0.17, 0.0, TAU, 16),
+                tf,
+                t,
+                1.0,
+            );
+        }
+        7 => {
+            canvas.stroke_polyline(&[(0.3, 0.2), (0.72, 0.2), (0.45, 0.82)], tf, t, 1.0);
+        }
+        8 => {
+            canvas.stroke_polyline(&arc_points(0.5, 0.35, 0.16, 0.14, 0.0, TAU, 18), tf, t, 1.0);
+            canvas.stroke_polyline(&arc_points(0.5, 0.66, 0.19, 0.16, 0.0, TAU, 18), tf, t, 1.0);
+        }
+        9 => {
+            canvas.stroke_polyline(&arc_points(0.5, 0.38, 0.17, 0.16, 0.0, TAU, 18), tf, t, 1.0);
+            canvas.stroke_polyline(&[(0.67, 0.38), (0.62, 0.82)], tf, t, 1.0);
+        }
+        _ => panic!("digit class {class} out of range (0-9)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(class: usize) -> Canvas {
+        let mut c = Canvas::new(28);
+        draw_digit(&mut c, class, &Transform::identity(), 2.0);
+        c
+    }
+
+    #[test]
+    fn every_digit_renders_some_ink() {
+        for class in 0..10 {
+            let c = render(class);
+            assert!(c.ink() > 0.01, "digit {class} has ink {}", c.ink());
+            assert!(c.ink() < 0.5, "digit {class} floods the canvas");
+        }
+    }
+
+    #[test]
+    fn digits_are_pairwise_distinct() {
+        // l1 distance between any pair of clean renders must be substantial
+        let renders: Vec<Canvas> = (0..10).map(render).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let d: f32 = renders[i]
+                    .pixels()
+                    .iter()
+                    .zip(renders[j].pixels())
+                    .map(|(&a, &b)| (a - b).abs())
+                    .sum();
+                assert!(d > 10.0, "digits {i} and {j} too similar (l1 {d})");
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(render(3), render(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_ten_rejected() {
+        let mut c = Canvas::new(28);
+        draw_digit(&mut c, 10, &Transform::identity(), 2.0);
+    }
+
+    #[test]
+    fn one_is_sparser_than_eight() {
+        assert!(render(1).ink() < render(8).ink());
+    }
+}

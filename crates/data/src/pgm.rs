@@ -1,0 +1,85 @@
+//! PGM (portable graymap) export — dependency-free image files that any
+//! viewer opens, for inspecting datasets and adversarial examples.
+
+use simpadv_tensor::Tensor;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes a flattened square grayscale image as binary PGM (P5).
+///
+/// Intensities are clamped to `[0, 1]` and quantized to 8 bits.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 1 with a square length.
+pub fn write_pgm<W: Write>(image: &Tensor, mut writer: W) -> io::Result<()> {
+    assert_eq!(image.rank(), 1, "write_pgm expects a flattened image");
+    let side = (image.len() as f32).sqrt().round() as usize;
+    assert_eq!(side * side, image.len(), "write_pgm expects a square image");
+    write!(writer, "P5\n{side} {side}\n255\n")?;
+    let bytes: Vec<u8> =
+        image.as_slice().iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8).collect();
+    writer.write_all(&bytes)
+}
+
+/// Writes an image to a `.pgm` file.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if the tensor is not a flattened square image.
+pub fn save_pgm<P: AsRef<Path>>(image: &Tensor, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_pgm(image, io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_payload() {
+        let img = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.25], &[4]);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let header = b"P5\n2 2\n255\n";
+        assert_eq!(&buf[..header.len()], header);
+        let pixels = &buf[header.len()..];
+        assert_eq!(pixels, &[0u8, 255, 128, 64]);
+    }
+
+    #[test]
+    fn out_of_range_values_clamped() {
+        let img = Tensor::from_vec(vec![-2.0, 3.0, 0.0, 0.0], &[4]);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let n = buf.len();
+        assert_eq!(&buf[n - 4..], &[0u8, 255, 0, 0]);
+    }
+
+    #[test]
+    fn save_creates_a_readable_file() {
+        let dir = std::env::temp_dir().join("simpadv-pgm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("digit.pgm");
+        let img = Tensor::zeros(&[16]);
+        save_pgm(&img, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P5\n4 4\n255\n"));
+        assert_eq!(data.len(), b"P5\n4 4\n255\n".len() + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let mut buf = Vec::new();
+        let _ = write_pgm(&Tensor::zeros(&[5]), &mut buf);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the rasterizer and dataset generator.
+
+use proptest::prelude::*;
+use simpadv_data::{arc_points, ascii_image, Canvas, SynthConfig, SynthDataset, Transform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn canvas_pixels_stay_in_unit_interval(
+        x0 in 0.0f32..1.0, y0 in 0.0f32..1.0,
+        x1 in 0.0f32..1.0, y1 in 0.0f32..1.0,
+        thickness in 0.5f32..5.0,
+        intensity in 0.0f32..1.0,
+    ) {
+        prop_assume!((x0 - x1).abs() > 1e-3 || (y0 - y1).abs() > 1e-3);
+        let mut c = Canvas::new(28);
+        c.stroke_polyline(&[(x0, y0), (x1, y1)], &Transform::identity(), thickness, intensity);
+        c.blur();
+        prop_assert!(c.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn transform_preserves_centre(rot in -3.0f32..3.0, sx in 0.5f32..1.5, sy in 0.5f32..1.5) {
+        let tf = Transform { rotation: rot, scale_x: sx, scale_y: sy, dx: 0.0, dy: 0.0 };
+        let (cx, cy) = tf.apply((0.5, 0.5));
+        prop_assert!((cx - 0.5).abs() < 1e-6 && (cy - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_translation_is_additive(dx in -0.2f32..0.2, dy in -0.2f32..0.2, px in 0.0f32..1.0, py in 0.0f32..1.0) {
+        let base = Transform::identity();
+        let moved = Transform { dx, dy, ..base };
+        let (ax, ay) = base.apply((px, py));
+        let (bx, by) = moved.apply((px, py));
+        prop_assert!((bx - ax - dx).abs() < 1e-6);
+        prop_assert!((by - ay - dy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arc_points_lie_on_the_ellipse(
+        cx in 0.2f32..0.8, cy in 0.2f32..0.8,
+        rx in 0.05f32..0.3, ry in 0.05f32..0.3,
+        a0 in -3.0f32..3.0, span in 0.1f32..6.0,
+        n in 2usize..24,
+    ) {
+        for (x, y) in arc_points(cx, cy, rx, ry, a0, a0 + span, n) {
+            let u = (x - cx) / rx;
+            let v = (y - cy) / ry;
+            prop_assert!((u * u + v * v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_for_any_seed(seed in 0u64..10_000) {
+        let cfg = SynthConfig::new(20, seed);
+        let a = SynthDataset::Fashion.generate(&cfg);
+        let b = SynthDataset::Fashion.generate(&cfg);
+        prop_assert_eq!(a.images(), b.images());
+    }
+
+    #[test]
+    fn every_generated_image_has_ink_and_background(seed in 0u64..2_000) {
+        let d = SynthDataset::Mnist.generate(&SynthConfig::new(10, seed).with_noise(0.0));
+        for i in 0..10 {
+            let row = d.images().row(i);
+            let ink = row.as_slice().iter().filter(|&&v| v > 0.5).count();
+            let bg = row.as_slice().iter().filter(|&&v| v < 0.1).count();
+            prop_assert!(ink > 10, "image {i} nearly blank");
+            prop_assert!(bg > 300, "image {i} floods the canvas");
+        }
+    }
+
+    #[test]
+    fn ascii_render_never_panics_on_generated_images(seed in 0u64..2_000) {
+        let d = SynthDataset::Mnist.generate(&SynthConfig::new(3, seed));
+        for i in 0..3 {
+            let art = ascii_image(&d.images().row(i));
+            prop_assert_eq!(art.lines().count(), 28);
+        }
+    }
+}

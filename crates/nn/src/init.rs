@@ -1,0 +1,142 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+use simpadv_tensor::Tensor;
+
+/// A weight-initialization scheme.
+///
+/// The fan-in/fan-out arguments are derived by the layer that owns the
+/// weight (for `Dense`, the input and output widths; for `Conv2d`, the
+/// receptive-field sizes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum WeightInit {
+    /// All zeros (only sensible for biases).
+    Zeros,
+    /// A constant value.
+    Constant(f32),
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Glorot/Xavier normal: `N(0, 2 / (fan_in + fan_out))`.
+    XavierNormal,
+    /// He/Kaiming uniform (for ReLU nets): `U(-a, a)`, `a = sqrt(6 / fan_in)`.
+    HeUniform,
+    /// He/Kaiming normal (for ReLU nets): `N(0, 2 / fan_in)`.
+    HeNormal,
+    /// LeCun normal: `N(0, 1 / fan_in)`.
+    LecunNormal,
+}
+
+impl Default for WeightInit {
+    /// [`WeightInit::HeUniform`] — the standard choice for the ReLU networks
+    /// used throughout this project.
+    fn default() -> Self {
+        WeightInit::HeUniform
+    }
+}
+
+impl WeightInit {
+    /// Samples a tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in` or `fan_out` is zero for a scheme that divides by
+    /// them.
+    pub fn sample<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+    ) -> Tensor {
+        match self {
+            WeightInit::Zeros => Tensor::zeros(shape),
+            WeightInit::Constant(c) => Tensor::full(shape, c),
+            WeightInit::XavierUniform => {
+                assert!(fan_in + fan_out > 0, "xavier init needs nonzero fans");
+                let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::rand_uniform(rng, shape, -a, a)
+            }
+            WeightInit::XavierNormal => {
+                assert!(fan_in + fan_out > 0, "xavier init needs nonzero fans");
+                let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::rand_normal(rng, shape, 0.0, std)
+            }
+            WeightInit::HeUniform => {
+                assert!(fan_in > 0, "he init needs nonzero fan_in");
+                let a = (6.0 / fan_in as f32).sqrt();
+                Tensor::rand_uniform(rng, shape, -a, a)
+            }
+            WeightInit::HeNormal => {
+                assert!(fan_in > 0, "he init needs nonzero fan_in");
+                let std = (2.0 / fan_in as f32).sqrt();
+                Tensor::rand_normal(rng, shape, 0.0, std)
+            }
+            WeightInit::LecunNormal => {
+                assert!(fan_in > 0, "lecun init needs nonzero fan_in");
+                let std = (1.0 / fan_in as f32).sqrt();
+                Tensor::rand_normal(rng, shape, 0.0, std)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(WeightInit::Zeros.sample(&mut rng, &[3], 1, 1).sum(), 0.0);
+        assert_eq!(WeightInit::Constant(2.0).sample(&mut rng, &[3], 1, 1).sum(), 6.0);
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = WeightInit::XavierUniform.sample(&mut rng, &[1000], 50, 50);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(t.norm_linf() <= a);
+        assert!(t.norm_linf() > 0.5 * a, "samples should spread across the interval");
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = WeightInit::HeNormal.sample(&mut rng, &[20_000], 100, 10);
+        let std = t.std_dev();
+        let expect = (2.0f32 / 100.0).sqrt();
+        assert!((std - expect).abs() < 0.01, "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn lecun_normal_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = WeightInit::LecunNormal.sample(&mut rng, &[20_000], 400, 10);
+        assert!((t.std_dev() - 0.05).abs() < 0.005);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a = WeightInit::HeUniform.sample(&mut r1, &[16], 4, 4);
+        let b = WeightInit::HeUniform.sample(&mut r2, &[16], 4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in")]
+    fn he_rejects_zero_fan() {
+        let mut rng = StdRng::seed_from_u64(0);
+        WeightInit::HeUniform.sample(&mut rng, &[1], 0, 1);
+    }
+
+    #[test]
+    fn default_is_he_uniform() {
+        assert_eq!(WeightInit::default(), WeightInit::HeUniform);
+    }
+}

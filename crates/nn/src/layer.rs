@@ -1,0 +1,146 @@
+//! The [`Layer`] trait: the contract every network building block fulfils.
+
+use simpadv_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Layers with train-time stochasticity or statistics (dropout, batch norm)
+/// change behaviour based on this; pure layers ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: dropout active, batch statistics collected.
+    Train,
+    /// Inference: deterministic, running statistics used.
+    Eval,
+}
+
+/// A mutable view of one trainable parameter and its gradient accumulator.
+///
+/// Layers hand these out in a *stable order* so optimizers can maintain
+/// per-parameter state (momentum, Adam moments) keyed by position.
+#[derive(Debug)]
+pub struct ParamRef<'a> {
+    /// The parameter values, updated in place by the optimizer.
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient for this parameter.
+    pub grad: &'a mut Tensor,
+}
+
+/// A differentiable network building block.
+///
+/// The contract:
+///
+/// 1. `forward` consumes an input batch, caches whatever the backward pass
+///    needs, and returns the output batch.
+/// 2. `backward` must be called after a matching `forward`; it receives
+///    ∂loss/∂output, **accumulates** ∂loss/∂parameters into the layer's
+///    gradient buffers, and returns ∂loss/∂input.
+/// 3. `params` exposes parameters and gradients in a stable order.
+///
+/// `backward` after `forward(Mode::Eval)` is permitted and must produce the
+/// gradients of the *evaluation* function — attacks differentiate the
+/// deterministic inference network.
+pub trait Layer: std::fmt::Debug {
+    /// Runs the layer on `input`, caching state for `backward`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backpropagates `grad_output` (∂loss/∂output), accumulating parameter
+    /// gradients and returning ∂loss/∂input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward` or with a
+    /// gradient whose shape does not match the last forward output.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Trainable parameters in a stable order. Defaults to none.
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        Vec::new()
+    }
+
+    /// Clears accumulated parameter gradients. Defaults to a no-op.
+    fn zero_grad(&mut self) {
+        // layers without parameters have nothing to clear
+    }
+
+    /// A short human-readable layer name (e.g. `"dense"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable scalars in this layer.
+    fn param_count(&mut self) -> usize {
+        self.params().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Serializable state: named tensors (parameters *and* buffers such as
+    /// batch-norm running statistics). Defaults to none.
+    fn state(&self) -> Vec<(String, Tensor)> {
+        Vec::new()
+    }
+
+    /// Restores state saved by [`Layer::state`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when a required entry is missing or has a
+    /// mismatched shape.
+    fn load_state(&mut self, state: &[(String, Tensor)]) {
+        let _ = state;
+    }
+}
+
+/// Looks up a named tensor in a state list, cloning it.
+///
+/// # Panics
+///
+/// Panics when the entry is missing — state dictionaries are produced by
+/// [`Layer::state`] and must be complete.
+pub(crate) fn expect_state(state: &[(String, Tensor)], key: &str) -> Tensor {
+    state
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, t)| t.clone())
+        .unwrap_or_else(|| panic!("state entry '{key}' missing"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Identity;
+    impl Layer for Identity {
+        fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+            input.clone()
+        }
+        fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+            grad_output.clone()
+        }
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+    }
+
+    #[test]
+    fn default_impls_are_empty() {
+        let mut l = Identity;
+        assert!(l.params().is_empty());
+        assert_eq!(l.param_count(), 0);
+        assert!(l.state().is_empty());
+        l.zero_grad(); // no-op
+        l.load_state(&[]); // no-op
+    }
+
+    #[test]
+    fn mode_is_copy_eq() {
+        let m = Mode::Train;
+        let n = m;
+        assert_eq!(m, n);
+        assert_ne!(Mode::Train, Mode::Eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn expect_state_panics_on_missing() {
+        expect_state(&[], "w");
+    }
+}

@@ -1,0 +1,166 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+///
+/// Trainers query the schedule at the start of every epoch and push the
+/// result into the optimizer with
+/// [`crate::Optimizer::set_learning_rate`].
+pub trait LrSchedule: std::fmt::Debug {
+    /// Learning rate for (0-based) `epoch`.
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// A constant learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr(f32);
+
+impl ConstantLr {
+    /// Creates a constant schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        ConstantLr(lr)
+    }
+}
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Multiplies the rate by `gamma` every `step` epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecayLr {
+    base: f32,
+    gamma: f32,
+    step: usize,
+}
+
+impl StepDecayLr {
+    /// Creates a step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 0`, `0 < gamma <= 1` and `step > 0`.
+    pub fn new(base: f32, gamma: f32, step: usize) -> Self {
+        assert!(base > 0.0, "learning rate must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma {gamma} not in (0, 1]");
+        assert!(step > 0, "step must be positive");
+        StepDecayLr { base, gamma, step }
+    }
+}
+
+impl LrSchedule for StepDecayLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        self.base * self.gamma.powi((epoch / self.step) as i32)
+    }
+}
+
+/// Exponential decay: `base * gamma^epoch`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialDecayLr {
+    base: f32,
+    gamma: f32,
+}
+
+impl ExponentialDecayLr {
+    /// Creates an exponential-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 0` and `0 < gamma <= 1`.
+    pub fn new(base: f32, gamma: f32) -> Self {
+        assert!(base > 0.0, "learning rate must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma {gamma} not in (0, 1]");
+        ExponentialDecayLr { base, gamma }
+    }
+}
+
+impl LrSchedule for ExponentialDecayLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        self.base * self.gamma.powi(epoch as i32)
+    }
+}
+
+/// Cosine annealing from `base` down to `min` over `period` epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineAnnealingLr {
+    base: f32,
+    min: f32,
+    period: usize,
+}
+
+impl CosineAnnealingLr {
+    /// Creates a cosine-annealing schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base >= min > 0` and `period > 0`.
+    pub fn new(base: f32, min: f32, period: usize) -> Self {
+        assert!(min > 0.0 && base >= min, "need base >= min > 0");
+        assert!(period > 0, "period must be positive");
+        CosineAnnealingLr { base, min, period }
+    }
+}
+
+impl LrSchedule for CosineAnnealingLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let t = (epoch % self.period) as f32 / self.period as f32;
+        self.min + 0.5 * (self.base - self.min) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr::new(0.1);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_every_ten() {
+        let s = StepDecayLr::new(1.0, 0.5, 10);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn exponential_decay_monotone() {
+        let s = ExponentialDecayLr::new(1.0, 0.9);
+        assert!(s.lr_at(1) < s.lr_at(0));
+        assert!((s.lr_at(2) - 0.81).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_hits_extremes() {
+        let s = CosineAnnealingLr::new(1.0, 0.01, 10);
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        // halfway through the period the rate is the midpoint
+        let mid = s.lr_at(5);
+        assert!((mid - (0.01 + 0.5 * 0.99)).abs() < 1e-6);
+        // schedule is periodic
+        assert_eq!(s.lr_at(0), s.lr_at(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn constant_rejects_zero() {
+        ConstantLr::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn step_decay_rejects_bad_gamma() {
+        StepDecayLr::new(0.1, 1.5, 5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Model persistence: JSON state dictionaries.
+//!
+//! A state dictionary is the flat `name -> tensor` map produced by
+//! [`crate::Layer::state`]. JSON keeps checkpoints human-auditable, which
+//! matters more than compactness at this project's model sizes (tens of
+//! thousands of parameters).
+
+use serde::{Deserialize, Serialize};
+use simpadv_tensor::Tensor;
+use std::io::{Read, Write};
+
+/// A serializable snapshot of a network's tensors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateDict {
+    /// Named tensors in layer order.
+    pub entries: Vec<(String, Tensor)>,
+}
+
+impl StateDict {
+    /// Captures the state of a layer (usually a
+    /// [`crate::Sequential`]).
+    pub fn capture(layer: &dyn crate::Layer) -> Self {
+        StateDict { entries: layer.state() }
+    }
+
+    /// Restores this state into a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are missing or shapes disagree (see
+    /// [`crate::Layer::load_state`]).
+    pub fn restore(&self, layer: &mut dyn crate::Layer) {
+        layer.load_state(&self.entries);
+    }
+}
+
+/// Writes a layer's state as JSON.
+///
+/// # Errors
+///
+/// Returns any underlying I/O or serialization error.
+pub fn save_state_dict_json<W: Write>(
+    layer: &dyn crate::Layer,
+    writer: W,
+) -> Result<(), Box<dyn std::error::Error>> {
+    serde_json::to_writer(writer, &StateDict::capture(layer))?;
+    Ok(())
+}
+
+/// Reads a JSON state dictionary and loads it into a layer.
+///
+/// # Errors
+///
+/// Returns any underlying I/O or deserialization error.
+///
+/// # Panics
+///
+/// Panics if the dictionary is incompatible with the layer (missing entries
+/// or shape mismatches).
+pub fn load_state_dict_json<R: Read>(
+    layer: &mut dyn crate::Layer,
+    reader: R,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let dict: StateDict = serde_json::from_reader(reader)?;
+    dict.restore(layer);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm1d, Dense, Relu, Sequential};
+    use crate::{Layer, Mode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simpadv_tensor::Tensor;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(3, 8, &mut rng)),
+            Box::new(BatchNorm1d::new(8, 0.1)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 2, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let mut a = net(1);
+        // give batch-norm non-trivial running stats
+        let mut rng = StdRng::seed_from_u64(9);
+        let warm = Tensor::rand_uniform(&mut rng, &[32, 3], -2.0, 2.0);
+        let _ = a.forward(&warm, Mode::Train);
+
+        let mut buf = Vec::new();
+        save_state_dict_json(&a, &mut buf).unwrap();
+        let mut b = net(2);
+        load_state_dict_json(&mut b, buf.as_slice()).unwrap();
+
+        let probe = Tensor::rand_uniform(&mut rng, &[5, 3], -1.0, 1.0);
+        assert_eq!(a.forward(&probe, Mode::Eval), b.forward(&probe, Mode::Eval));
+    }
+
+    #[test]
+    fn state_dict_capture_restore() {
+        let a = net(3);
+        let dict = StateDict::capture(&a);
+        // dense(2) + batchnorm(4) + dense(2) named tensors
+        assert_eq!(dict.entries.len(), 8);
+        let mut b = net(4);
+        dict.restore(&mut b);
+        assert_eq!(StateDict::capture(&b), dict);
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error() {
+        let mut n = net(5);
+        let res = load_state_dict_json(&mut n, &b"not json"[..]);
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type for fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the fallible (`try_*`) tensor operations.
+///
+/// The panicking counterparts raise the same conditions as panics with the
+/// message produced by this type's [`fmt::Display`] implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two shapes were expected to match (element-wise op, assignment) but
+    /// did not and could not be broadcast together.
+    ShapeMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ElementCountMismatch {
+        /// Number of elements in the source tensor.
+        have: usize,
+        /// Number of elements the requested shape implies.
+        want: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// The operation requires a specific rank (e.g. matmul requires 2-D).
+    RankMismatch {
+        /// Rank the operation expects.
+        expected: usize,
+        /// Rank it was given.
+        got: usize,
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// A constructor was given data whose length disagrees with the shape.
+    DataLengthMismatch {
+        /// Length of the provided buffer.
+        data_len: usize,
+        /// Element count implied by the shape.
+        shape_len: usize,
+    },
+    /// An index was out of bounds along some axis.
+    IndexOutOfBounds {
+        /// The offending flat or axis index.
+        index: usize,
+        /// The bound it violated.
+        bound: usize,
+    },
+    /// An empty tensor was passed to a reduction that needs elements.
+    EmptyReduction {
+        /// Operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::ElementCountMismatch { have, want } => {
+                write!(f, "cannot reshape {have} elements into a shape of {want} elements")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::RankMismatch { expected, got, op } => {
+                write!(f, "{op} expects rank {expected}, got rank {got}")
+            }
+            TensorError::DataLengthMismatch { data_len, shape_len } => {
+                write!(f, "data length {data_len} does not match shape element count {shape_len}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+            TensorError::EmptyReduction { op } => {
+                write!(f, "{op} over an empty tensor")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch { lhs: vec![2, 3], rhs: vec![4], op: "add" };
+        let msg = e.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn Error> = Box::new(TensorError::EmptyReduction { op: "max" });
+        assert!(e.to_string().contains("max"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Dense linear algebra: matrix multiplication variants, dot and outer
+//! products.
+//!
+//! The matmul kernels use the cache-friendly `i-k-j` loop order; on the
+//! single-core CPU targets of this project that is within a small factor of
+//! a tuned BLAS for the matrix sizes that occur (hundreds by hundreds).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product `self @ rhs` of two rank-2 tensors.
+    ///
+    /// Shapes: `[m, k] @ [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        self.try_matmul(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Tensor::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-2-D operands and
+    /// [`TensorError::ShapeMismatch`] when inner dimensions disagree.
+    pub fn try_matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        check_rank2(self, "matmul")?;
+        check_rank2(rhs, "matmul")?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+                op: "matmul",
+            });
+        }
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[m, n]))
+    }
+
+    /// `selfᵀ @ rhs` without materializing the transpose.
+    ///
+    /// Shapes: `[k, m]ᵀ @ [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared dimension
+    /// disagrees.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        check_rank2(self, "matmul_tn").unwrap_or_else(|e| panic!("{e}"));
+        check_rank2(rhs, "matmul_tn").unwrap_or_else(|e| panic!("{e}"));
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(k, k2, "matmul_tn shared-dimension mismatch: {:?} vs {:?}", self.shape(), rhs.shape());
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // out[i][j] = sum_p a[p][i] * b[p][j]
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self @ rhsᵀ` without materializing the transpose.
+    ///
+    /// Shapes: `[m, k] @ [n, k]ᵀ -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared dimension
+    /// disagrees.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        check_rank2(self, "matmul_nt").unwrap_or_else(|e| panic!("{e}"));
+        check_rank2(rhs, "matmul_nt").unwrap_or_else(|e| panic!("{e}"));
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(k, k2, "matmul_nt shared-dimension mismatch: {:?} vs {:?}", self.shape(), rhs.shape());
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Inner (dot) product of two 1-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 1 or lengths differ.
+    pub fn dot(&self, rhs: &Tensor) -> f32 {
+        assert_eq!(self.rank(), 1, "dot expects rank-1 tensors");
+        assert_eq!(rhs.rank(), 1, "dot expects rank-1 tensors");
+        assert_eq!(self.len(), rhs.len(), "dot length mismatch");
+        self.as_slice().iter().zip(rhs.as_slice()).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Outer product of two 1-D tensors: `[m] ⊗ [n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 1.
+    pub fn outer(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 1, "outer expects rank-1 tensors");
+        assert_eq!(rhs.rank(), 1, "outer expects rank-1 tensors");
+        let (m, n) = (self.len(), rhs.len());
+        let mut out = Vec::with_capacity(m * n);
+        for &a in self.as_slice() {
+            for &b in rhs.as_slice() {
+                out.push(a * b);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// The Frobenius (l2) norm of the tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.as_slice().iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// The l∞ (maximum absolute value) norm of the tensor; 0 when empty.
+    pub fn norm_linf(&self) -> f32 {
+        self.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<(), TensorError> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, got: t.rank(), op });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::ones(&[3, 4]);
+        let b = Tensor::ones(&[4, 5]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[3, 5]);
+        assert!(c.as_slice().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn try_matmul_errors() {
+        let a = Tensor::ones(&[2, 3]);
+        assert!(a.try_matmul(&Tensor::ones(&[4, 2])).is_err());
+        assert!(a.try_matmul(&Tensor::ones(&[3])).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Tensor::arange(6).reshape(&[3, 2]);
+        let b = Tensor::arange(12).reshape(&[3, 4]);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        let b = Tensor::arange(12).reshape(&[4, 3]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn dot_and_outer() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        let o = a.outer(&b);
+        assert_eq!(o.shape(), &[3, 3]);
+        assert_eq!(o.at(&[2, 0]), 12.0);
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::from_slice(&[3.0, -4.0]);
+        assert_eq!(t.norm_l2(), 5.0);
+        assert_eq!(t.norm_linf(), 4.0);
+        assert_eq!(Tensor::default().norm_linf(), 0.0);
+    }
+}

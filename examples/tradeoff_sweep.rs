@@ -1,0 +1,59 @@
+//! Ablation of the proposed method's two knobs — per-epoch step size and
+//! reset period — showing the robustness/cost trade-off the paper's
+//! Section IV reasons about.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_sweep
+//! ```
+
+use simpadv_suite::attacks::Bim;
+use simpadv_suite::data::{SynthConfig, SynthDataset};
+use simpadv_suite::defense::train::{ProposedTrainer, Trainer};
+use simpadv_suite::defense::{evaluate_accuracy, evaluate_clean, ModelSpec, TrainConfig};
+
+fn main() {
+    let train = SynthDataset::Mnist.generate(&SynthConfig::new(1000, 1));
+    let test = SynthDataset::Mnist.generate(&SynthConfig::new(300, 2));
+    let eps = SynthDataset::Mnist.paper_epsilon();
+    let config = TrainConfig::new(48, 0).with_lr_decay(0.96);
+
+    println!("proposed-method ablation on synthetic MNIST (eps = {eps})\n");
+    println!(
+        "{:<26}{:>10}{:>12}",
+        "variant", "clean", "bim(10)"
+    );
+
+    // Step-size sweep (reset period fixed at the paper's 20).
+    for (label, step) in [
+        ("step = eps/30 (tiny)", eps / 30.0),
+        ("step = eps/10 (paper)", eps / 10.0),
+        ("step = eps/4  (large)", eps / 4.0),
+        ("step = eps    (fgsm-like)", eps),
+    ] {
+        let mut clf = ModelSpec::default_mlp().build(11);
+        ProposedTrainer::new(eps, step, 20).train(&mut clf, &train, &config);
+        let clean = evaluate_clean(&mut clf, &test);
+        let mut bim = Bim::new(eps, 10);
+        let robust = evaluate_accuracy(&mut clf, &test, &mut bim);
+        println!("{label:<26}{:>9.1}%{:>11.1}%", clean * 100.0, robust * 100.0);
+    }
+    println!();
+
+    // Reset-period sweep (step fixed at the paper's eps/10).
+    for (label, period) in [
+        ("reset every 5 epochs", 5usize),
+        ("reset every 20 (paper)", 20),
+        ("never reset", usize::MAX),
+    ] {
+        let mut clf = ModelSpec::default_mlp().build(11);
+        ProposedTrainer::new(eps, eps / 10.0, period).train(&mut clf, &train, &config);
+        let clean = evaluate_clean(&mut clf, &test);
+        let mut bim = Bim::new(eps, 10);
+        let robust = evaluate_accuracy(&mut clf, &test, &mut bim);
+        println!("{label:<26}{:>9.1}%{:>11.1}%", clean * 100.0, robust * 100.0);
+    }
+    println!("\nReading: step size is an inverted U — tiny steps never accumulate enough");
+    println!("perturbation between resets, a full-eps step degenerates toward FGSM-Adv.");
+    println!("At short training budgets, resets mostly discard matured examples, so less");
+    println!("frequent resets help; the paper's R = 20 targets much longer horizons.");
+}

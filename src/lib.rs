@@ -1,0 +1,21 @@
+//! # simpadv-suite
+//!
+//! Umbrella crate for the `simpadv` reproduction of *"Using Intuition from
+//! Empirical Properties to Simplify Adversarial Training Defense"* (Liu,
+//! Khalil, Khreishah — 2019). It re-exports every sub-crate under one name
+//! so that examples and integration tests can use a single dependency:
+//!
+//! * [`tensor`] — dense `f32` tensors ([`simpadv_tensor`])
+//! * [`nn`] — layers, losses, optimizers ([`simpadv_nn`])
+//! * [`data`] — synthetic MNIST / Fashion-MNIST ([`simpadv_data`])
+//! * [`attacks`] — FGSM / BIM / PGD / MIM ([`simpadv_attacks`])
+//! * [`defense`] — the paper's trainers and experiment harness ([`simpadv`])
+//!
+//! See the repository `README.md` for a walkthrough and `DESIGN.md` for the
+//! system inventory.
+
+pub use simpadv as defense;
+pub use simpadv_attacks as attacks;
+pub use simpadv_data as data;
+pub use simpadv_nn as nn;
+pub use simpadv_tensor as tensor;

@@ -1,0 +1,60 @@
+//! The full CLI workflow as a user would run it: generate → train →
+//! evaluate → attack, through the `simpadv-cli` library API.
+
+use simpadv_cli::{run, Args, SavedModel};
+
+fn cli(line: &str) -> Result<String, String> {
+    let args = Args::parse(line.split_whitespace().map(str::to_string))
+        .map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    run(&args, &mut out).map_err(|e| e.to_string())?;
+    Ok(String::from_utf8(out).expect("utf8"))
+}
+
+#[test]
+fn generate_train_evaluate_attack_workflow() {
+    let dir = std::env::temp_dir().join("simpadv-suite-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("workflow.json");
+    let model = model_path.to_str().unwrap();
+
+    // generate: shows dataset stats and previews
+    let text = cli("generate --dataset fashion --samples 10 --preview 1").unwrap();
+    assert!(text.contains("generated 10 'fashion' images"));
+
+    // train a quick robust model and checkpoint it
+    let text = cli(&format!(
+        "train --dataset mnist --method proposed --epochs 4 --samples 120 --out {model}"
+    ))
+    .unwrap();
+    assert!(text.contains("training proposed"));
+
+    // checkpoint is a valid SavedModel with metadata
+    let saved = SavedModel::load(std::fs::File::open(&model_path).unwrap()).unwrap();
+    assert_eq!(saved.trained_on, "mnist");
+    assert_eq!(saved.method, "proposed");
+
+    // evaluate prints the Table-I column set
+    let text = cli(&format!("evaluate --model {model} --dataset mnist --samples 50")).unwrap();
+    for col in ["original", "fgsm", "bim(10)", "bim(30)"] {
+        assert!(text.contains(col), "missing column {col} in:\n{text}");
+    }
+
+    // attack renders before/after ASCII art
+    let text = cli(&format!(
+        "attack --model {model} --dataset mnist --attack pgd10 --index 2"
+    ))
+    .unwrap();
+    assert!(text.contains("true label 2"));
+    assert!(text.contains("pgd(10)"));
+}
+
+#[test]
+fn cli_surfaces_helpful_errors() {
+    let err = cli("evaluate --dataset mnist").unwrap_err();
+    assert!(err.contains("--model"), "unhelpful error: {err}");
+    let err = cli("train --dataset mars").unwrap_err();
+    assert!(err.contains("mars"));
+    let err = cli("attack --model /nonexistent.json --dataset mnist").unwrap_err();
+    assert!(!err.is_empty());
+}

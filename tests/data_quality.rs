@@ -1,0 +1,91 @@
+//! Dataset-quality invariants the experiments silently depend on.
+
+use simpadv_suite::data::{SynthConfig, SynthDataset, CLASS_COUNT, IMAGE_PIXELS};
+
+#[test]
+fn images_are_high_contrast() {
+    // robust separability at the paper's eps needs near-binary pixels:
+    // most ink mass must sit above 0.7, most background below 0.3
+    for dataset in [SynthDataset::Mnist, SynthDataset::Fashion] {
+        let d = dataset.generate(&SynthConfig::new(100, 1));
+        let s = d.images().as_slice();
+        let total = s.len() as f32;
+        let mid_band = s.iter().filter(|&&v| (0.3..0.7).contains(&v)).count() as f32;
+        assert!(
+            mid_band / total < 0.15,
+            "{}: {:.1}% of pixels in the ambiguous 0.3-0.7 band",
+            dataset.id(),
+            100.0 * mid_band / total
+        );
+    }
+}
+
+#[test]
+fn ink_fraction_is_reasonable() {
+    for dataset in [SynthDataset::Mnist, SynthDataset::Fashion] {
+        let d = dataset.generate(&SynthConfig::new(100, 2));
+        let mean = d.images().mean();
+        assert!(
+            (0.03..0.45).contains(&mean),
+            "{}: mean intensity {mean} outside sane range",
+            dataset.id()
+        );
+    }
+}
+
+#[test]
+fn every_class_has_within_class_variation() {
+    let d = SynthDataset::Mnist.generate(&SynthConfig::new(10 * CLASS_COUNT, 3));
+    for class in 0..CLASS_COUNT {
+        // rows class and class + CLASS_COUNT share a label but differ
+        let a = d.images().row(class);
+        let b = d.images().row(class + CLASS_COUNT);
+        assert_eq!(d.labels()[class], d.labels()[class + CLASS_COUNT]);
+        let l1: f32 = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| (x - y).abs()).sum();
+        assert!(l1 > 1.0, "class {class} renders are nearly identical (l1 {l1})");
+    }
+}
+
+#[test]
+fn same_class_images_are_closer_than_cross_class_on_average() {
+    let d = SynthDataset::Mnist.generate(&SynthConfig::new(200, 4));
+    let l2 = |a: usize, b: usize| -> f32 {
+        d.images()
+            .row(a)
+            .as_slice()
+            .iter()
+            .zip(d.images().row(b).as_slice())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    };
+    let mut same = 0.0;
+    let mut cross = 0.0;
+    let mut same_n = 0;
+    let mut cross_n = 0;
+    for i in 0..60 {
+        for j in (i + 1)..60 {
+            if d.labels()[i] == d.labels()[j] {
+                same += l2(i, j);
+                same_n += 1;
+            } else {
+                cross += l2(i, j);
+                cross_n += 1;
+            }
+        }
+    }
+    let same_mean = same / same_n as f32;
+    let cross_mean = cross / cross_n as f32;
+    assert!(
+        same_mean < cross_mean,
+        "within-class distance {same_mean} not below cross-class {cross_mean}"
+    );
+}
+
+#[test]
+fn image_dimensions_match_constants() {
+    let d = SynthDataset::Fashion.generate(&SynthConfig::new(10, 5));
+    assert_eq!(d.images().shape(), &[10, IMAGE_PIXELS]);
+    assert_eq!(d.images_nchw().shape(), &[10, 1, 28, 28]);
+    assert_eq!(d.num_classes(), CLASS_COUNT);
+}

@@ -1,0 +1,59 @@
+//! Smoke tests for the figure/table runners: structure and the cheapest
+//! qualitative invariants at a seconds-scale workload.
+
+use simpadv_suite::data::SynthDataset;
+use simpadv_suite::defense::experiments::{fig1, fig2, table1, ExperimentScale};
+
+fn smoke() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+#[test]
+fn fig1_smoke_structure_and_vanilla_collapse() {
+    let r = fig1::run(SynthDataset::Mnist, &smoke());
+    assert_eq!(r.dataset, "mnist");
+    assert_eq!(r.series.len(), 4);
+    let vanilla = r.series_for("vanilla").unwrap();
+    // vanilla is defenseless: by 5+ iterations its accuracy is tiny
+    assert!(vanilla.last().unwrap() < &0.15, "vanilla end accuracy {:?}", vanilla.last());
+    // every series stays in [0, 1]
+    for (_, s) in &r.series {
+        assert!(s.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+    // JSON artifact serializes
+    let json = serde_json::to_string(&r).unwrap();
+    let back: fig1::Fig1Result = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, r);
+}
+
+#[test]
+fn fig2_smoke_monotone_for_vanilla() {
+    let r = fig2::run(SynthDataset::Mnist, &smoke());
+    let vanilla = r.series_for("vanilla").unwrap();
+    assert_eq!(vanilla.len(), fig2::ATTACK_ITERATIONS);
+    // growing perturbation cannot help the undefended model (tolerate tiny
+    // sampling wiggle)
+    for w in vanilla.windows(2) {
+        assert!(w[1] <= w[0] + 0.05, "vanilla not monotone: {vanilla:?}");
+    }
+    // most of the drop happens early: first-half drop >= second-half drop
+    let first = vanilla[0] - vanilla[4];
+    let second = vanilla[4] - vanilla[9];
+    assert!(first >= second - 0.05, "degradation not front-loaded: {vanilla:?}");
+}
+
+#[test]
+fn table1_smoke_cost_ordering() {
+    let r = table1::run(&smoke());
+    assert_eq!(r.rows.len(), 5);
+    let passes = |m: &str| r.row(m).unwrap().gradient_passes_per_epoch;
+    // the machine-independent cost column must reproduce the paper's
+    // ordering even at smoke scale
+    assert!(passes("FGSM-Adv") <= passes("ATDA") + 1.0);
+    assert!(passes("Proposed") <= passes("FGSM-Adv") + 1.0);
+    assert!(passes("BIM(10)-Adv") > 2.0 * passes("Proposed"));
+    assert!(passes("BIM(30)-Adv") > 2.5 * passes("BIM(10)-Adv"));
+    // wall-clock agrees on the coarse split (iterative ≫ single-step)
+    let secs = |m: &str| r.row(m).unwrap().seconds_per_epoch;
+    assert!(secs("BIM(30)-Adv") > secs("Proposed"));
+}

@@ -1,0 +1,47 @@
+//! Cross-crate sanity: small MLPs must learn the synthetic tasks, and the
+//! fashion task must be harder than the digits task — the premise behind
+//! every experiment in the paper reproduction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simpadv_data::{SynthConfig, SynthDataset};
+use simpadv_nn::{accuracy, Classifier, Dense, GradientModel, Relu, Sequential, Sgd};
+
+fn train_mlp(dataset: SynthDataset, train_n: usize, epochs: usize, seed: u64) -> (f32, f32) {
+    let train = dataset.generate(&SynthConfig::new(train_n, seed));
+    let test = dataset.generate(&SynthConfig::new(500, seed + 1));
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let net = Sequential::new(vec![
+        Box::new(Dense::new(784, 128, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::new(128, 10, &mut rng)),
+    ]);
+    let mut clf = Classifier::new(net, 10);
+    let mut opt = Sgd::new(0.1).with_momentum(0.9);
+    for _ in 0..epochs {
+        for (_, x, y) in train.batches(64, &mut rng) {
+            clf.train_batch(&x, &y, &mut opt);
+        }
+    }
+    let train_acc = accuracy(&clf.logits(train.images()), train.labels());
+    let test_acc = accuracy(&clf.logits(test.images()), test.labels());
+    (train_acc, test_acc)
+}
+
+#[test]
+fn mlp_learns_synthetic_mnist() {
+    let (train_acc, test_acc) = train_mlp(SynthDataset::Mnist, 1000, 10, 42);
+    assert!(train_acc > 0.97, "train accuracy {train_acc}");
+    assert!(test_acc > 0.90, "test accuracy {test_acc}");
+}
+
+#[test]
+fn mlp_learns_synthetic_fashion_less_well() {
+    let (_, mnist_acc) = train_mlp(SynthDataset::Mnist, 1000, 10, 7);
+    let (_, fashion_acc) = train_mlp(SynthDataset::Fashion, 1000, 10, 7);
+    assert!(fashion_acc > 0.70, "fashion accuracy {fashion_acc} too low to be learnable");
+    assert!(
+        fashion_acc < mnist_acc,
+        "fashion ({fashion_acc}) should be harder than mnist ({mnist_acc})"
+    );
+}
