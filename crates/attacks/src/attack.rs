@@ -44,10 +44,7 @@ pub(crate) mod testmodel {
             let state = vec![
                 (
                     "weight".to_string(),
-                    Tensor::from_vec(
-                        vec![1.0, -1.0, 1.0, -1.0, -1.0, 1.0, -1.0, 1.0],
-                        &[4, 2],
-                    ),
+                    Tensor::from_vec(vec![1.0, -1.0, 1.0, -1.0, -1.0, 1.0, -1.0, 1.0], &[4, 2]),
                 ),
                 ("bias".to_string(), Tensor::zeros(&[2])),
             ];

@@ -67,12 +67,7 @@ impl Bim {
     /// Runs the attack and returns **every intermediate iterate**
     /// `x₁, …, x_N` (Section III of the paper evaluates classifiers
     /// against exactly these).
-    pub fn iterates(
-        &self,
-        model: &mut dyn GradientModel,
-        x: &Tensor,
-        y: &[usize],
-    ) -> Vec<Tensor> {
+    pub fn iterates(&self, model: &mut dyn GradientModel, x: &Tensor, y: &[usize]) -> Vec<Tensor> {
         let mut out = Vec::with_capacity(self.iterations);
         let mut cur = x.clone();
         for _ in 0..self.iterations {

@@ -11,9 +11,7 @@ pub fn row_l2_norms(x: &Tensor) -> Vec<f32> {
     let n = x.shape()[0];
     let d: usize = x.shape()[1..].iter().product();
     let s = x.as_slice();
-    (0..n)
-        .map(|i| s[i * d..(i + 1) * d].iter().map(|&v| v * v).sum::<f32>().sqrt())
-        .collect()
+    (0..n).map(|i| s[i * d..(i + 1) * d].iter().map(|&v| v * v).sum::<f32>().sqrt()).collect()
 }
 
 /// Maximum per-example l2 distance between two batches.

@@ -43,13 +43,10 @@
 //! assert!(x_adv.sub(&x).norm_linf() <= 0.1 + 1e-6);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod attack;
 mod bim;
-mod l2;
 mod fgsm;
+mod l2;
 mod margin;
 mod mim;
 mod noise;
@@ -59,8 +56,8 @@ mod targeted;
 
 pub use attack::Attack;
 pub use bim::Bim;
-pub use l2::{l2_distance, project_ball_l2, row_l2_norms, FgmL2, PgdL2};
 pub use fgsm::Fgsm;
+pub use l2::{l2_distance, project_ball_l2, row_l2_norms, FgmL2, PgdL2};
 pub use margin::MarginPgd;
 pub use mim::Mim;
 pub use noise::RandomNoise;

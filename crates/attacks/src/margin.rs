@@ -70,9 +70,8 @@ impl Attack for MarginPgd {
         let mut cur = x.clone();
         for _ in 0..self.iterations {
             let labels = y.to_vec();
-            let grad_x = model.custom_input_grad(&cur, &mut |logits| {
-                Self::margin_grad(logits, &labels)
-            });
+            let grad_x =
+                model.custom_input_grad(&cur, &mut |logits| Self::margin_grad(logits, &labels));
             let stepped = cur.add(&grad_x.sign().mul_scalar(self.step));
             cur = project_ball(&stepped, x, self.epsilon);
         }

@@ -91,9 +91,9 @@ mod tests {
         let ll = LeastLikelyFgsm::least_likely(&logits0);
         let adv = LeastLikelyFgsm::new(0.2).perturb(&mut m, &x, &y);
         let logits1 = m.logits(&adv);
-        for i in 0..2 {
-            let before = logits0.at(&[i, ll[i]]);
-            let after = logits1.at(&[i, ll[i]]);
+        for (i, &target) in ll.iter().enumerate() {
+            let before = logits0.at(&[i, target]);
+            let after = logits1.at(&[i, target]);
             assert!(after > before, "row {i}: target logit {before} -> {after}");
         }
     }

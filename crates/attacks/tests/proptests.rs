@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simpadv_attacks::{
-    l2_distance, linf_distance, Attack, Bim, FgmL2, Fgsm, LeastLikelyFgsm, MarginPgd, Mim, Pgd,
-    PgdL2, RandomNoise,
+    l2_distance, linf_distance, project_ball, signed_step, Attack, Bim, FgmL2, Fgsm,
+    LeastLikelyFgsm, MarginPgd, Mim, Pgd, PgdL2, RandomNoise,
 };
 use simpadv_nn::{Classifier, Dense, Relu, Sequential};
 use simpadv_tensor::Tensor;
@@ -123,6 +123,81 @@ proptest! {
         ] {
             prop_assert!(l2_distance(&adv, &x) <= eps + 1e-4, "l2 budget violated");
             prop_assert!(adv.as_slice().iter().all(|&v| (-1e-6..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    // ---- projection primitives: the geometry every attack rests on ----
+
+    #[test]
+    fn project_ball_lands_in_ball_and_box(seed in 0u64..1000, eps in 0.0f32..0.5) {
+        // Start far outside both the ball and the [0, 1] box.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&mut rng, &[4, 6], -2.0, 3.0);
+        let origin = Tensor::rand_uniform(&mut rng, &[4, 6], 0.0, 1.0);
+        let p = project_ball(&x, &origin, eps);
+        prop_assert!(linf_distance(&p, &origin) <= eps + 1e-6, "ball violated");
+        prop_assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)), "box violated");
+    }
+
+    #[test]
+    fn project_ball_zero_eps_collapses_to_origin(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&mut rng, &[3, 5], -2.0, 3.0);
+        let origin = Tensor::rand_uniform(&mut rng, &[3, 5], 0.0, 1.0);
+        let p = project_ball(&x, &origin, 0.0);
+        for (a, b) in p.as_slice().iter().zip(origin.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-6, "eps = 0 projection must return the origin");
+        }
+    }
+
+    #[test]
+    fn project_ball_is_idempotent(seed in 0u64..1000, eps in 0.0f32..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&mut rng, &[3, 5], -2.0, 3.0);
+        let origin = Tensor::rand_uniform(&mut rng, &[3, 5], 0.0, 1.0);
+        let once = project_ball(&x, &origin, eps);
+        let twice = project_ball(&once, &origin, eps);
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-6, "projection must be idempotent");
+        }
+    }
+
+    #[test]
+    fn project_ball_fixes_interior_points(seed in 0u64..1000, eps in 0.05f32..0.5) {
+        // A point already inside ball ∩ box must come back unchanged.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let origin = Tensor::rand_uniform(&mut rng, &[3, 5], 0.3, 0.7);
+        let noise = Tensor::rand_uniform(&mut rng, &[3, 5], -1.0, 1.0).mul_scalar(eps * 0.5);
+        let x = origin.add(&noise).clamp(0.0, 1.0);
+        let p = project_ball(&x, &origin, eps);
+        for (a, b) in p.as_slice().iter().zip(x.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-6, "interior point moved by projection");
+        }
+    }
+
+    #[test]
+    fn signed_step_respects_ball_and_box(
+        seed in 0u64..500,
+        step in 0.0f32..0.4,
+        eps in 0.0f32..0.4,
+    ) {
+        let mut m = random_classifier(seed, 6, 3);
+        let (origin, y) = batch(seed + 1, 4, 6, 3);
+        // The carried state may sit anywhere in the previous ball — or, after
+        // a budget change, outside the current one.
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        let carried = Tensor::rand_uniform(&mut rng, &[4, 6], -0.5, 1.5);
+        let adv = signed_step(&mut m, &carried, &origin, &y, step, eps);
+        assert_valid(&adv, &origin, eps);
+    }
+
+    #[test]
+    fn signed_step_zero_eps_returns_clean(seed in 0u64..500, step in 0.0f32..0.4) {
+        let mut m = random_classifier(seed, 6, 3);
+        let (origin, y) = batch(seed + 1, 4, 6, 3);
+        let adv = signed_step(&mut m, &origin, &origin, &y, step, 0.0);
+        for (a, b) in adv.as_slice().iter().zip(origin.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-6, "eps = 0 must leave the clean image");
         }
     }
 

@@ -12,15 +12,13 @@
 //!   per-epoch training cost of every method (the micro version of
 //!   Table I's time column).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use simpadv::experiments::ExperimentScale;
 
 /// Parses the common CLI of the regeneration binaries.
 ///
 /// Recognized flags: `--full`, `--smoke` (default: quick). Unknown flags
 /// abort with a usage message.
+#[expect(clippy::exit, reason = "CLI usage-error abort in the regeneration binaries")]
 pub fn scale_from_args(args: &[String]) -> ExperimentScale {
     let mut scale = ExperimentScale::quick();
     for a in args {

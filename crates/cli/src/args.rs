@@ -75,9 +75,9 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ParseError(format!("option --{key}: cannot parse '{v}'"))),
+            Some(v) => {
+                v.parse().map_err(|_| ParseError(format!("option --{key}: cannot parse '{v}'")))
+            }
         }
     }
 

@@ -7,9 +7,7 @@ use simpadv::train::{
     VanillaTrainer,
 };
 use simpadv::{EvalSuite, ModelSpec, TrainConfig};
-use simpadv_attacks::{
-    Attack, Bim, FgmL2, Fgsm, LeastLikelyFgsm, Mim, Pgd, PgdL2, RandomNoise,
-};
+use simpadv_attacks::{Attack, Bim, FgmL2, Fgsm, LeastLikelyFgsm, Mim, Pgd, PgdL2, RandomNoise};
 use simpadv_data::{ascii_image, SynthConfig, SynthDataset};
 use std::error::Error;
 use std::fmt;
@@ -154,9 +152,7 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let train = dataset.generate(&SynthConfig::new(samples, seed));
     let spec = ModelSpec::default_mlp();
     let mut clf = spec.build(seed);
-    let config = TrainConfig::new(epochs, seed)
-        .with_learning_rate(lr)
-        .with_lr_decay(0.97);
+    let config = TrainConfig::new(epochs, seed).with_learning_rate(lr).with_lr_decay(0.97);
     writeln!(out, "training {method_id} on {} ({samples} images, {epochs} epochs)", dataset.id())?;
     let report = trainer.train(&mut clf, &train, &config);
     writeln!(
@@ -276,15 +272,14 @@ mod tests {
         assert!(text.contains("training vanilla"));
         assert!(text.contains("wrote"));
 
-        let text = run_line(&format!("evaluate --model {model} --dataset mnist --samples 40"))
-            .unwrap();
+        let text =
+            run_line(&format!("evaluate --model {model} --dataset mnist --samples 40")).unwrap();
         assert!(text.contains("original"));
         assert!(text.contains("bim(30)"));
 
-        let text = run_line(&format!(
-            "attack --model {model} --dataset mnist --attack fgsm --index 1"
-        ))
-        .unwrap();
+        let text =
+            run_line(&format!("attack --model {model} --dataset mnist --attack fgsm --index 1"))
+                .unwrap();
         assert!(text.contains("true label 1"));
         assert!(text.contains("fgsm"));
     }
@@ -296,7 +291,8 @@ mod tests {
 
     #[test]
     fn all_attack_names_parse() {
-        for name in ["noise", "fgsm", "llfgsm", "bim10", "bim30", "pgd10", "mim10", "fgml2", "pgdl2"]
+        for name in
+            ["noise", "fgsm", "llfgsm", "bim10", "bim30", "pgd10", "mim10", "fgml2", "pgdl2"]
         {
             assert!(parse_attack(name, 0.3, 1).is_ok(), "{name}");
         }

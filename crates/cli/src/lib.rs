@@ -12,9 +12,6 @@
 //! simpadv-cli attack   --model model.json --dataset mnist --attack bim10 --index 3
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod args;
 mod checkpoint;
 mod commands;

@@ -84,10 +84,7 @@ mod tests {
     fn chart_contains_markers_and_legend() {
         let art = render_accuracy_chart(
             &labels(3),
-            &[
-                ("a".into(), vec![1.0, 0.5, 0.0]),
-                ("b".into(), vec![0.0, 0.5, 1.0]),
-            ],
+            &[("a".into(), vec![1.0, 0.5, 0.0]), ("b".into(), vec![0.0, 0.5, 1.0])],
         );
         assert!(art.contains('*'));
         assert!(art.contains('+') || art.contains('&')); // overlap at 50%
@@ -107,10 +104,8 @@ mod tests {
 
     #[test]
     fn overlapping_points_use_ampersand() {
-        let art = render_accuracy_chart(
-            &labels(1),
-            &[("a".into(), vec![0.5]), ("b".into(), vec![0.5])],
-        );
+        let art =
+            render_accuracy_chart(&labels(1), &[("a".into(), vec![0.5]), ("b".into(), vec![0.5])]);
         assert!(art.contains('&'));
     }
 

@@ -33,7 +33,14 @@ impl TrainConfig {
     /// Panics if `epochs == 0`.
     pub fn new(epochs: usize, seed: u64) -> Self {
         assert!(epochs > 0, "need at least one epoch");
-        TrainConfig { epochs, batch_size: 64, learning_rate: 0.1, momentum: 0.9, seed, lr_decay: 1.0 }
+        TrainConfig {
+            epochs,
+            batch_size: 64,
+            learning_rate: 0.1,
+            momentum: 0.9,
+            seed,
+            lr_decay: 1.0,
+        }
     }
 
     /// Overrides the batch size.
@@ -96,10 +103,8 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let c = TrainConfig::new(1, 0)
-            .with_batch_size(32)
-            .with_learning_rate(0.01)
-            .with_momentum(0.0);
+        let c =
+            TrainConfig::new(1, 0).with_batch_size(32).with_learning_rate(0.01).with_momentum(0.0);
         assert_eq!(c.batch_size, 32);
         assert_eq!(c.learning_rate, 0.01);
         assert_eq!(c.momentum, 0.0);

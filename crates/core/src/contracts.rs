@@ -1,0 +1,113 @@
+//! Debug-build invariant checks for the training loop.
+//!
+//! The Proposed trainer carries **persistent adversarial examples** across
+//! epochs; every quantity downstream (loss mixing, the ε-ball analysis of
+//! the paper) silently assumes those examples are well-formed. This module
+//! states that assumption as code. All checks are `debug_assert!`-level:
+//! they vanish in release builds, so the training hot path pays nothing,
+//! while debug and test builds fail loudly at the first corrupted batch
+//! instead of drifting into NaN losses.
+
+use simpadv_tensor::Tensor;
+
+/// Slack for the ε-ball and box containment checks: `signed_step` clamps
+/// exactly, but the comparison here re-derives the distance in `f32` and
+/// must tolerate one rounding step.
+const TOLERANCE: f32 = 1e-5;
+
+/// Checks the invariants of an adversarial batch relative to its clean
+/// counterpart:
+///
+/// 1. shapes match;
+/// 2. every adversarial value is finite;
+/// 3. every adversarial value lies in the valid pixel box `[0, 1]`;
+/// 4. every adversarial value is within `epsilon` (l∞) of the clean value.
+///
+/// Compiled to a no-op in release builds.
+///
+/// # Panics
+///
+/// In builds with debug assertions, panics when any invariant is violated.
+pub fn check_adv_batch(adv: &Tensor, clean: &Tensor, epsilon: f32) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    debug_assert_eq!(
+        adv.shape(),
+        clean.shape(),
+        "adversarial batch shape {:?} does not match clean batch shape {:?}",
+        adv.shape(),
+        clean.shape()
+    );
+    for (i, (&a, &c)) in adv.as_slice().iter().zip(clean.as_slice()).enumerate() {
+        debug_assert!(
+            a.is_finite(),
+            "adversarial example has non-finite value {a} at flat index {i}"
+        );
+        debug_assert!(
+            (-TOLERANCE..=1.0 + TOLERANCE).contains(&a),
+            "adversarial value {a} at flat index {i} escapes the [0, 1] pixel box"
+        );
+        debug_assert!(
+            (a - c).abs() <= epsilon + TOLERANCE,
+            "adversarial value {a} at flat index {i} is {} from clean value {c}, \
+             outside the epsilon = {epsilon} ball",
+            (a - c).abs()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), &[1, vals.len()])
+    }
+
+    #[test]
+    fn accepts_a_valid_batch() {
+        let clean = batch(&[0.2, 0.5, 0.9]);
+        let adv = batch(&[0.3, 0.4, 1.0]);
+        check_adv_batch(&adv, &clean, 0.1);
+    }
+
+    #[test]
+    fn accepts_the_boundary_of_the_ball() {
+        let clean = batch(&[0.5]);
+        let adv = batch(&[0.8]);
+        check_adv_batch(&adv, &clean, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let clean = batch(&[0.5]);
+        let adv = batch(&[f32::NAN]);
+        check_adv_batch(&adv, &clean, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel box")]
+    fn rejects_box_escape() {
+        let clean = batch(&[0.9]);
+        let adv = batch(&[1.2]);
+        check_adv_batch(&adv, &clean, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_ball_escape() {
+        let clean = batch(&[0.1]);
+        let adv = batch(&[0.6]);
+        check_adv_batch(&adv, &clean, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn rejects_shape_mismatch() {
+        let clean = batch(&[0.1, 0.2]);
+        let adv = batch(&[0.1]);
+        check_adv_batch(&adv, &clean, 0.3);
+    }
+}

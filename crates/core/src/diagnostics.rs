@@ -147,8 +147,11 @@ mod tests {
         let train = SynthDataset::Mnist.generate(&SynthConfig::new(300, 1));
         let test = SynthDataset::Mnist.generate(&SynthConfig::new(150, 2));
         let mut clf = ModelSpec::default_mlp().build(0);
-        ProposedTrainer::paper_defaults(0.3)
-            .train(&mut clf, &train, &TrainConfig::new(25, 0).with_lr_decay(0.95));
+        ProposedTrainer::paper_defaults(0.3).train(
+            &mut clf,
+            &train,
+            &TrainConfig::new(25, 0).with_lr_decay(0.95),
+        );
         let report = audit_masking(&mut clf, &test, 0.3, 7);
         assert!(report.all_passed(), "{report}");
     }
@@ -156,11 +159,7 @@ mod tests {
     #[test]
     fn report_renders_and_serializes() {
         let report = MaskingReport {
-            checks: vec![DiagnosticCheck {
-                name: "x".into(),
-                evidence: "y".into(),
-                passed: false,
-            }],
+            checks: vec![DiagnosticCheck { name: "x".into(), evidence: "y".into(), passed: false }],
         };
         assert!(!report.all_passed());
         assert!(report.to_string().contains("!!"));

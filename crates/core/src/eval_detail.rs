@@ -27,7 +27,7 @@ impl ClassBreakdown {
             .iter()
             .enumerate()
             .filter_map(|(i, r)| r.map(|v| (i, v)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("recalls are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i)
     }
 }

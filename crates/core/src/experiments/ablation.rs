@@ -45,11 +45,7 @@ pub struct AblationResult {
 
 impl fmt::Display for AblationResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Ablation ({}): proposed-method knobs (eps = {})",
-            self.dataset, self.epsilon
-        )?;
+        writeln!(f, "Ablation ({}): proposed-method knobs (eps = {})", self.dataset, self.epsilon)?;
         writeln!(f, "{:<30}{:>10}{:>10}", "variant", "clean", "bim(10)")?;
         for row in self.step_sweep.iter().chain(&self.reset_sweep) {
             writeln!(f, "{:<30}{:>10}{:>10}", row.variant, pct(row.clean), pct(row.robust))?;

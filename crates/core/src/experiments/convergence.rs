@@ -52,7 +52,11 @@ impl fmt::Display for ConvergenceResult {
 /// exactly equivalent to snapshotting one long run, so this function
 /// trades compute for simplicity: each probe point is an independent,
 /// fully reproducible training run.
-pub fn run(dataset: SynthDataset, scale: &ExperimentScale, epoch_grid: &[usize]) -> ConvergenceResult {
+pub fn run(
+    dataset: SynthDataset,
+    scale: &ExperimentScale,
+    epoch_grid: &[usize],
+) -> ConvergenceResult {
     let (train, test) = scale.load(dataset);
     let eps = dataset.paper_epsilon();
     let mut series: Vec<(String, Vec<f32>)> = vec![
@@ -75,11 +79,7 @@ pub fn run(dataset: SynthDataset, scale: &ExperimentScale, epoch_grid: &[usize])
             slot.1.push(evaluate_accuracy(&mut clf, &test, &mut attack));
         }
     }
-    ConvergenceResult {
-        dataset: dataset.id().to_string(),
-        epochs: epoch_grid.to_vec(),
-        series,
-    }
+    ConvergenceResult { dataset: dataset.id().to_string(), epochs: epoch_grid.to_vec(), series }
 }
 
 #[cfg(test)]

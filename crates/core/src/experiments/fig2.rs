@@ -67,7 +67,7 @@ pub fn run(dataset: SynthDataset, scale: &ExperimentScale) -> Fig2Result {
     for (name, clf, _) in probes.entries.iter_mut() {
         let bim = Bim::new(eps, ATTACK_ITERATIONS);
         // accumulate per-iterate accuracy over evaluation batches
-        let mut correct = vec![0usize; ATTACK_ITERATIONS];
+        let mut correct = [0usize; ATTACK_ITERATIONS];
         let mut total = 0usize;
         for (_, x, y) in test.batches_sequential(100) {
             let iterates = bim.iterates(clf, &x, &y);

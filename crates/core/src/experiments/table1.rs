@@ -61,11 +61,7 @@ impl fmt::Display for Table1Result {
                     write!(f, "{:>9}", pct(*a))?;
                 }
             }
-            writeln!(
-                f,
-                "{:>10.3}{:>12.0}",
-                row.seconds_per_epoch, row.gradient_passes_per_epoch
-            )?;
+            writeln!(f, "{:>10.3}{:>12.0}", row.seconds_per_epoch, row.gradient_passes_per_epoch)?;
         }
         Ok(())
     }

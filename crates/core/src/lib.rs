@@ -40,11 +40,9 @@
 //! println!("{eval}");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod chart;
 mod config;
+pub mod contracts;
 pub mod diagnostics;
 mod eval;
 mod eval_detail;

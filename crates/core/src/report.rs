@@ -65,12 +65,8 @@ impl TrainReport {
         if self.forward_passes.is_empty() {
             return 0.0;
         }
-        let total: u64 = self
-            .forward_passes
-            .iter()
-            .zip(&self.backward_passes)
-            .map(|(f, b)| f + b)
-            .sum();
+        let total: u64 =
+            self.forward_passes.iter().zip(&self.backward_passes).map(|(f, b)| f + b).sum();
         total as f64 / self.forward_passes.len() as f64
     }
 
@@ -80,7 +76,7 @@ impl TrainReport {
     ///
     /// Panics on an empty report.
     pub fn final_loss(&self) -> f32 {
-        *self.epoch_losses.last().expect("empty report")
+        self.epoch_losses.last().copied().unwrap_or_else(|| panic!("final_loss on an empty report"))
     }
 }
 

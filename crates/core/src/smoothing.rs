@@ -77,6 +77,11 @@ impl<'a> SmoothedClassifier<'a> {
     /// Mean vote margin over a labelled set, restricted to examples the
     /// smoothed classifier gets right (the standard stability summary).
     /// Returns `(smoothed accuracy, mean margin of correct predictions)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the number of labels does not match the number of
+    /// images.
     pub fn stability(&mut self, images: &Tensor, labels: &[usize]) -> (f32, f32) {
         assert_eq!(images.shape()[0], labels.len(), "label count mismatch");
         let mut correct = 0usize;
@@ -170,10 +175,7 @@ mod tests {
             .stability(test.images(), test.labels());
         let (acc_r, _) = SmoothedClassifier::new(&mut robust, sigma, 24, 5)
             .stability(test.images(), test.labels());
-        assert!(
-            acc_r >= acc_v - 0.1,
-            "robust smoothed accuracy {acc_r} far below vanilla {acc_v}"
-        );
+        assert!(acc_r >= acc_v - 0.1, "robust smoothed accuracy {acc_r} far below vanilla {acc_v}");
     }
 
     #[test]

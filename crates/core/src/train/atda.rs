@@ -62,12 +62,7 @@ impl AtdaTrainer {
 }
 
 impl Trainer for AtdaTrainer {
-    fn train(
-        &mut self,
-        clf: &mut Classifier,
-        data: &Dataset,
-        config: &TrainConfig,
-    ) -> TrainReport {
+    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
         let mut attack = Fgsm::new(self.epsilon);
         let ce = SoftmaxCrossEntropy::new();
         let classes = data.num_classes();
@@ -108,6 +103,10 @@ impl Trainer for AtdaTrainer {
 /// the clean and adversarial logits (centers are treated as constants).
 ///
 /// Returns `(loss, dL/dz_clean, dL/dz_adv)`.
+///
+/// # Panics
+///
+/// Panics when the clean and adversarial logit shapes disagree.
 pub(crate) fn domain_adaptation_grad(
     z_clean: &Tensor,
     z_adv: &Tensor,
@@ -305,8 +304,7 @@ mod tests {
     fn keeps_clean_accuracy() {
         let train = SynthDataset::Mnist.generate(&SynthConfig::new(400, 1));
         let mut clf = ModelSpec::default_mlp().build(0);
-        AtdaTrainer::new(0.3)
-            .train(&mut clf, &train, &TrainConfig::new(15, 0).with_lr_decay(0.95));
+        AtdaTrainer::new(0.3).train(&mut clf, &train, &TrainConfig::new(15, 0).with_lr_decay(0.95));
         let acc = accuracy(&clf.logits(train.images()), train.labels());
         assert!(acc > 0.85, "clean train accuracy {acc}");
     }

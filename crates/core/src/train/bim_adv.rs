@@ -40,12 +40,7 @@ impl BimAdvTrainer {
 }
 
 impl Trainer for BimAdvTrainer {
-    fn train(
-        &mut self,
-        clf: &mut Classifier,
-        data: &Dataset,
-        config: &TrainConfig,
-    ) -> TrainReport {
+    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
         let mut attack = Bim::new(self.epsilon, self.iterations);
         run_epochs(&self.id(), clf, data, config, |clf, opt, _epoch, _idx, x, y| {
             let adv = attack.perturb(clf, x, y);

@@ -37,12 +37,7 @@ impl FgsmAdvTrainer {
 }
 
 impl Trainer for FgsmAdvTrainer {
-    fn train(
-        &mut self,
-        clf: &mut Classifier,
-        data: &Dataset,
-        config: &TrainConfig,
-    ) -> TrainReport {
+    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
         let mut attack = Fgsm::new(self.epsilon);
         run_epochs(&self.id(), clf, data, config, |clf, opt, _epoch, _idx, x, y| {
             let adv = attack.perturb(clf, x, y);
@@ -89,8 +84,11 @@ mod tests {
     fn keeps_clean_accuracy() {
         let train = SynthDataset::Mnist.generate(&SynthConfig::new(400, 1));
         let mut clf = ModelSpec::default_mlp().build(0);
-        FgsmAdvTrainer::new(0.3)
-            .train(&mut clf, &train, &TrainConfig::new(15, 0).with_lr_decay(0.95));
+        FgsmAdvTrainer::new(0.3).train(
+            &mut clf,
+            &train,
+            &TrainConfig::new(15, 0).with_lr_decay(0.95),
+        );
         let acc = accuracy(&clf.logits(train.images()), train.labels());
         assert!(acc > 0.9, "clean train accuracy {acc}");
     }

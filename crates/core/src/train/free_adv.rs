@@ -51,12 +51,7 @@ impl FreeAdvTrainer {
 }
 
 impl Trainer for FreeAdvTrainer {
-    fn train(
-        &mut self,
-        clf: &mut Classifier,
-        data: &Dataset,
-        config: &TrainConfig,
-    ) -> TrainReport {
+    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
         let mut delta_state = simpadv_tensor::Tensor::zeros(data.images().shape());
         let (epsilon, replays) = (self.epsilon, self.replays);
         run_epochs(&self.id(), clf, data, config, move |clf, opt, _epoch, idx, x, y| {

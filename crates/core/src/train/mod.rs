@@ -30,8 +30,7 @@ use std::time::Instant;
 pub trait Trainer {
     /// Trains `clf` on `data` and reports per-epoch losses, wall-clock
     /// times and gradient-pass counts.
-    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig)
-        -> TrainReport;
+    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport;
 
     /// A short identifier such as `"fgsm-adv"` or `"bim(10)-adv"`.
     fn id(&self) -> String;
@@ -50,7 +49,14 @@ pub(crate) fn run_epochs<F>(
     mut step: F,
 ) -> TrainReport
 where
-    F: FnMut(&mut Classifier, &mut dyn Optimizer, usize, &[usize], &simpadv_tensor::Tensor, &[usize]) -> f32,
+    F: FnMut(
+        &mut Classifier,
+        &mut dyn Optimizer,
+        usize,
+        &[usize],
+        &simpadv_tensor::Tensor,
+        &[usize],
+    ) -> f32,
 {
     use rand::rngs::StdRng;
     use rand::SeedableRng;

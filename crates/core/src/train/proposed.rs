@@ -76,12 +76,7 @@ impl ProposedTrainer {
 }
 
 impl Trainer for ProposedTrainer {
-    fn train(
-        &mut self,
-        clf: &mut Classifier,
-        data: &Dataset,
-        config: &TrainConfig,
-    ) -> TrainReport {
+    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
         // Persistent adversarial images, row-aligned with the dataset.
         let mut adv_state = data.images().clone();
         let mut last_reset_epoch = 0usize;
@@ -96,6 +91,7 @@ impl Trainer for ProposedTrainer {
             // projected onto the ε-ball of the *clean* images.
             let carried = adv_state.gather_rows(idx);
             let adv = signed_step(clf, &carried, x, y, step, epsilon);
+            crate::contracts::check_adv_batch(&adv, x, epsilon);
             for (k, &i) in idx.iter().enumerate() {
                 adv_state.set_row(i, &adv.row(k));
             }
@@ -166,8 +162,11 @@ mod tests {
     fn keeps_clean_accuracy() {
         let train = SynthDataset::Mnist.generate(&SynthConfig::new(400, 1));
         let mut clf = ModelSpec::default_mlp().build(0);
-        ProposedTrainer::paper_defaults(0.3)
-            .train(&mut clf, &train, &TrainConfig::new(20, 0).with_lr_decay(0.95));
+        ProposedTrainer::paper_defaults(0.3).train(
+            &mut clf,
+            &train,
+            &TrainConfig::new(20, 0).with_lr_decay(0.95),
+        );
         let acc = accuracy(&clf.logits(train.images()), train.labels());
         assert!(acc > 0.9, "clean train accuracy {acc}");
     }

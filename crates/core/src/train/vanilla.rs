@@ -20,12 +20,7 @@ impl VanillaTrainer {
 }
 
 impl Trainer for VanillaTrainer {
-    fn train(
-        &mut self,
-        clf: &mut Classifier,
-        data: &Dataset,
-        config: &TrainConfig,
-    ) -> TrainReport {
+    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
         run_epochs(&self.id(), clf, data, config, |clf, opt, _epoch, _idx, x, y| {
             clf.train_batch(x, y, opt)
         })

@@ -49,11 +49,7 @@ pub fn ascii_image(image: &Tensor) -> String {
 pub fn ascii_pair(left: &Tensor, right: &Tensor) -> String {
     let la = ascii_image(left);
     let ra = ascii_image(right);
-    la.lines()
-        .zip(ra.lines())
-        .map(|(l, r)| format!("{l}    {r}"))
-        .collect::<Vec<_>>()
-        .join("\n")
+    la.lines().zip(ra.lines()).map(|(l, r)| format!("{l}    {r}")).collect::<Vec<_>>().join("\n")
         + "\n"
 }
 

@@ -103,12 +103,7 @@ impl Dataset {
     /// Panics if `batch_size == 0`.
     pub fn batches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> BatchIter<'_> {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchIter {
-            dataset: self,
-            order: shuffled_indices(rng, self.len()),
-            batch_size,
-            cursor: 0,
-        }
+        BatchIter { dataset: self, order: shuffled_indices(rng, self.len()), batch_size, cursor: 0 }
     }
 
     /// Iterates over minibatches in dataset order (no shuffling) —
@@ -120,12 +115,7 @@ impl Dataset {
     /// Panics if `batch_size == 0`.
     pub fn batches_sequential(&self, batch_size: usize) -> BatchIter<'_> {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchIter {
-            dataset: self,
-            order: (0..self.len()).collect(),
-            batch_size,
-            cursor: 0,
-        }
+        BatchIter { dataset: self, order: (0..self.len()).collect(), batch_size, cursor: 0 }
     }
 }
 
@@ -205,7 +195,7 @@ mod tests {
     fn batches_cover_everything_once() {
         let d = toy(10);
         let mut rng = StdRng::seed_from_u64(0);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         let mut total = 0;
         for (idx, images, labels) in d.batches(3, &mut rng) {
             assert_eq!(images.shape()[0], labels.len());

@@ -12,7 +12,15 @@ use std::f32::consts::PI;
 /// Human-readable garment class names, index-aligned with the labels this
 /// module draws.
 pub const FASHION_NAMES: [&str; 10] = [
-    "t-shirt", "trouser", "pullover", "dress", "coat", "sandal", "shirt", "sneaker", "bag",
+    "t-shirt",
+    "trouser",
+    "pullover",
+    "dress",
+    "coat",
+    "sandal",
+    "shirt",
+    "sneaker",
+    "bag",
     "ankle-boot",
 ];
 
@@ -22,6 +30,7 @@ pub const FASHION_NAMES: [&str; 10] = [
 ///
 /// Panics if `class > 9`.
 pub(crate) fn draw_garment(canvas: &mut Canvas, class: usize, tf: &Transform, thickness: f32) {
+    assert!(class <= 9, "garment class {class} out of range (0-9)");
     let t = thickness;
     match class {
         // 0: t-shirt — torso + short sleeves
@@ -32,21 +41,9 @@ pub(crate) fn draw_garment(canvas: &mut Canvas, class: usize, tf: &Transform, th
         }
         // 1: trouser — two legs from a waistband
         1 => {
-            canvas.fill_polygon(
-                &[(0.36, 0.18), (0.64, 0.18), (0.66, 0.3), (0.34, 0.3)],
-                tf,
-                0.95,
-            );
-            canvas.fill_polygon(
-                &[(0.34, 0.3), (0.47, 0.3), (0.45, 0.84), (0.34, 0.84)],
-                tf,
-                0.95,
-            );
-            canvas.fill_polygon(
-                &[(0.53, 0.3), (0.66, 0.3), (0.66, 0.84), (0.55, 0.84)],
-                tf,
-                0.95,
-            );
+            canvas.fill_polygon(&[(0.36, 0.18), (0.64, 0.18), (0.66, 0.3), (0.34, 0.3)], tf, 0.95);
+            canvas.fill_polygon(&[(0.34, 0.3), (0.47, 0.3), (0.45, 0.84), (0.34, 0.84)], tf, 0.95);
+            canvas.fill_polygon(&[(0.53, 0.3), (0.66, 0.3), (0.66, 0.84), (0.55, 0.84)], tf, 0.95);
         }
         // 2: pullover — torso + long sleeves (like t-shirt, longer sleeves)
         2 => {
@@ -57,14 +54,7 @@ pub(crate) fn draw_garment(canvas: &mut Canvas, class: usize, tf: &Transform, th
         // 3: dress — fitted top flaring to a wide hem
         3 => {
             canvas.fill_polygon(
-                &[
-                    (0.42, 0.16),
-                    (0.58, 0.16),
-                    (0.56, 0.34),
-                    (0.7, 0.84),
-                    (0.3, 0.84),
-                    (0.44, 0.34),
-                ],
+                &[(0.42, 0.16), (0.58, 0.16), (0.56, 0.34), (0.7, 0.84), (0.3, 0.84), (0.44, 0.34)],
                 tf,
                 0.95,
             );
@@ -79,11 +69,7 @@ pub(crate) fn draw_garment(canvas: &mut Canvas, class: usize, tf: &Transform, th
         }
         // 5: sandal — thin sole + strap arcs
         5 => {
-            canvas.fill_polygon(
-                &[(0.2, 0.66), (0.8, 0.6), (0.82, 0.68), (0.22, 0.74)],
-                tf,
-                0.95,
-            );
+            canvas.fill_polygon(&[(0.2, 0.66), (0.8, 0.6), (0.82, 0.68), (0.22, 0.74)], tf, 0.95);
             canvas.stroke_polyline(&arc_points(0.44, 0.62, 0.12, 0.14, -PI, 0.0, 10), tf, t, 0.9);
             canvas.stroke_polyline(&arc_points(0.64, 0.59, 0.1, 0.12, -PI, 0.0, 10), tf, t, 0.9);
         }
@@ -97,11 +83,7 @@ pub(crate) fn draw_garment(canvas: &mut Canvas, class: usize, tf: &Transform, th
         }
         // 7: sneaker — low profile body on a chunky sole
         7 => {
-            canvas.fill_polygon(
-                &[(0.18, 0.7), (0.82, 0.7), (0.82, 0.78), (0.18, 0.78)],
-                tf,
-                0.95,
-            );
+            canvas.fill_polygon(&[(0.18, 0.7), (0.82, 0.7), (0.82, 0.78), (0.18, 0.78)], tf, 0.95);
             canvas.fill_polygon(
                 &[(0.2, 0.7), (0.3, 0.46), (0.52, 0.44), (0.8, 0.62), (0.8, 0.7)],
                 tf,
@@ -133,21 +115,14 @@ pub(crate) fn draw_garment(canvas: &mut Canvas, class: usize, tf: &Transform, th
                 0.95,
             );
         }
-        _ => panic!("garment class {class} out of range (0-9)"),
+        _ => unreachable!("class range checked on entry"),
     }
 }
 
 /// A symmetric torso polygon of the given bottom extent.
 fn torso(canvas: &mut Canvas, tf: &Transform, hem_y: f32) {
     canvas.fill_polygon(
-        &[
-            (0.38, 0.16),
-            (0.62, 0.16),
-            (0.64, 0.3),
-            (0.63, hem_y),
-            (0.37, hem_y),
-            (0.36, 0.3),
-        ],
+        &[(0.38, 0.16), (0.62, 0.16), (0.64, 0.3), (0.63, hem_y), (0.37, hem_y), (0.36, 0.3)],
         tf,
         0.9,
     );
@@ -175,9 +150,9 @@ mod tests {
 
     #[test]
     fn every_garment_renders_ink() {
-        for class in 0..10 {
+        for (class, garment) in FASHION_NAMES.iter().enumerate() {
             let ink = render(class).ink();
-            assert!(ink > 0.02, "garment {class} ({}) ink {ink}", FASHION_NAMES[class]);
+            assert!(ink > 0.02, "garment {class} ({garment}) ink {ink}");
             assert!(ink < 0.6, "garment {class} floods the canvas");
         }
     }

@@ -14,6 +14,7 @@ use std::f32::consts::{FRAC_PI_2, PI, TAU};
 ///
 /// Panics if `class > 9`.
 pub(crate) fn draw_digit(canvas: &mut Canvas, class: usize, tf: &Transform, thickness: f32) {
+    assert!(class <= 9, "digit class {class} out of range (0-9)");
     let t = thickness;
     match class {
         0 => {
@@ -43,7 +44,12 @@ pub(crate) fn draw_digit(canvas: &mut Canvas, class: usize, tf: &Transform, thic
             );
         }
         4 => {
-            canvas.stroke_polyline(&[(0.62, 0.82), (0.62, 0.18), (0.3, 0.6), (0.75, 0.6)], tf, t, 1.0);
+            canvas.stroke_polyline(
+                &[(0.62, 0.82), (0.62, 0.18), (0.3, 0.6), (0.75, 0.6)],
+                tf,
+                t,
+                1.0,
+            );
         }
         5 => {
             let mut pts = vec![(0.68, 0.2), (0.36, 0.2), (0.34, 0.47)];
@@ -54,12 +60,7 @@ pub(crate) fn draw_digit(canvas: &mut Canvas, class: usize, tf: &Transform, thic
             let mut pts = vec![(0.62, 0.18)];
             pts.extend(arc_points(0.48, 0.62, 0.17, 0.17, -2.4, 2.0, 16));
             canvas.stroke_polyline(&pts, tf, t, 1.0);
-            canvas.stroke_polyline(
-                &arc_points(0.48, 0.62, 0.17, 0.17, 0.0, TAU, 16),
-                tf,
-                t,
-                1.0,
-            );
+            canvas.stroke_polyline(&arc_points(0.48, 0.62, 0.17, 0.17, 0.0, TAU, 16), tf, t, 1.0);
         }
         7 => {
             canvas.stroke_polyline(&[(0.3, 0.2), (0.72, 0.2), (0.45, 0.82)], tf, t, 1.0);
@@ -72,7 +73,7 @@ pub(crate) fn draw_digit(canvas: &mut Canvas, class: usize, tf: &Transform, thic
             canvas.stroke_polyline(&arc_points(0.5, 0.38, 0.17, 0.16, 0.0, TAU, 18), tf, t, 1.0);
             canvas.stroke_polyline(&[(0.67, 0.38), (0.62, 0.82)], tf, t, 1.0);
         }
-        _ => panic!("digit class {class} out of range (0-9)"),
+        _ => unreachable!("class range checked on entry"),
     }
 }
 

@@ -28,9 +28,6 @@
 //! assert!(data.images().as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod ascii;
 mod dataset;
 mod fashion;

@@ -58,7 +58,15 @@ impl Transform {
 /// # Panics
 ///
 /// Panics if `n == 0`.
-pub fn arc_points(cx: f32, cy: f32, rx: f32, ry: f32, a0: f32, a1: f32, n: usize) -> Vec<(f32, f32)> {
+pub fn arc_points(
+    cx: f32,
+    cy: f32,
+    rx: f32,
+    ry: f32,
+    a0: f32,
+    a1: f32,
+    n: usize,
+) -> Vec<(f32, f32)> {
     assert!(n > 0, "arc needs at least one segment");
     (0..=n)
         .map(|i| {
@@ -181,7 +189,7 @@ impl Canvas {
                     xs.push(a.0 + t * (b.0 - a.0));
                 }
             }
-            xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+            xs.sort_by(f32::total_cmp);
             for pair in xs.chunks(2) {
                 if pair.len() < 2 {
                     continue;
@@ -349,7 +357,11 @@ mod tests {
     #[test]
     fn blur_preserves_mass_in_interior() {
         let mut c = Canvas::new(28);
-        c.fill_polygon(&[(0.4, 0.4), (0.6, 0.4), (0.6, 0.6), (0.4, 0.6)], &Transform::identity(), 1.0);
+        c.fill_polygon(
+            &[(0.4, 0.4), (0.6, 0.4), (0.6, 0.6), (0.4, 0.6)],
+            &Transform::identity(),
+            1.0,
+        );
         let before = c.ink();
         c.blur();
         let after = c.ink();

@@ -62,13 +62,13 @@ impl SynthDataset {
     fn render_sample(self, class: usize, config: &SynthConfig, rng: &mut StdRng) -> Canvas {
         let j = config.jitter;
         let tf = Transform {
-            rotation: rng.random_range(-0.14..0.14) * j, // ±8° at full jitter
-            scale_x: 1.0 + rng.random_range(-0.1..0.08) * j,
-            scale_y: 1.0 + rng.random_range(-0.1..0.08) * j,
-            dx: rng.random_range(-0.05..0.05) * j,
-            dy: rng.random_range(-0.05..0.05) * j,
+            rotation: rng.random_range(-0.14f32..0.14) * j, // ±8° at full jitter
+            scale_x: 1.0 + rng.random_range(-0.1f32..0.08) * j,
+            scale_y: 1.0 + rng.random_range(-0.1f32..0.08) * j,
+            dx: rng.random_range(-0.05f32..0.05) * j,
+            dy: rng.random_range(-0.05f32..0.05) * j,
         };
-        let thickness = 3.0 + rng.random_range(-0.6..0.8) * j;
+        let thickness = 3.0 + rng.random_range(-0.6f32..0.8) * j;
         let mut canvas = Canvas::new(IMAGE_SIDE);
         for _ in 0..config.clutter {
             let a = (rng.random_range(0.05..0.95), rng.random_range(0.05..0.95));

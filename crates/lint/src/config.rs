@@ -1,0 +1,190 @@
+//! `lint.toml` allowlist: intentional, documented exceptions to the rules.
+//!
+//! The file is a sequence of `[[allow]]` tables:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "R1"
+//! path = "crates/nn/src/pool.rs"
+//! item = "expect"          # optional: restrict to one offending item
+//! reason = "backward() has a documented forward-first contract"
+//! ```
+//!
+//! `rule` and `path` are required; `reason` is required too so every
+//! exception carries its justification into review. The parser covers
+//! exactly this subset of TOML (comments, `[[allow]]` headers, and
+//! `key = "string"` pairs) — anything else is a configuration error.
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id, e.g. `R1`.
+    pub rule: String,
+    /// Workspace-relative path (forward slashes) the entry applies to.
+    pub path: String,
+    /// Optional item filter: function name or offending identifier.
+    pub item: Option<String>,
+    /// Human justification (required).
+    pub reason: String,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// All allowlist entries.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Whether a diagnostic for `rule` at `path` (with offending `item`)
+    /// is allowlisted.
+    pub fn is_allowed(&self, rule: &str, path: &str, item: &str) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule && a.path == path && a.item.as_deref().is_none_or(|it| it == item)
+        })
+    }
+}
+
+/// Errors from [`parse`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError { line, message: message.into() }
+}
+
+/// Parses `lint.toml` source text.
+pub fn parse(src: &str) -> Result<Config, ConfigError> {
+    struct Partial {
+        line: usize,
+        rule: Option<String>,
+        path: Option<String>,
+        item: Option<String>,
+        reason: Option<String>,
+    }
+    fn finish(p: Partial) -> Result<AllowEntry, ConfigError> {
+        Ok(AllowEntry {
+            rule: p.rule.ok_or_else(|| err(p.line, "[[allow]] missing `rule`"))?,
+            path: p.path.ok_or_else(|| err(p.line, "[[allow]] missing `path`"))?,
+            item: p.item,
+            reason: p.reason.ok_or_else(|| {
+                err(p.line, "[[allow]] missing `reason` — every exception must be justified")
+            })?,
+        })
+    }
+
+    let mut cfg = Config::default();
+    let mut current: Option<Partial> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = current.take() {
+                cfg.allows.push(finish(p)?);
+            }
+            current =
+                Some(Partial { line: lineno, rule: None, path: None, item: None, reason: None });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(
+                lineno,
+                format!("unsupported section `{line}` (only [[allow]] is recognized)"),
+            ));
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(lineno, format!("expected `key = \"value\"`, found `{line}`")));
+        };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        let value = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')).ok_or_else(|| {
+            err(lineno, format!("value for `{key}` must be a double-quoted string"))
+        })?;
+        let Some(p) = current.as_mut() else {
+            return Err(err(lineno, format!("`{key}` outside of an [[allow]] table")));
+        };
+        match key {
+            "rule" => p.rule = Some(value.to_string()),
+            "path" => p.path = Some(value.to_string()),
+            "item" => p.item = Some(value.to_string()),
+            "reason" => p.reason = Some(value.to_string()),
+            other => return Err(err(lineno, format!("unknown key `{other}` in [[allow]]"))),
+        }
+    }
+    if let Some(p) = current.take() {
+        cfg.allows.push(finish(p)?);
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let cfg = parse(
+            r#"
+# exceptions
+[[allow]]
+rule = "R1"
+path = "crates/nn/src/pool.rs"
+item = "expect"
+reason = "documented forward-first contract"
+
+[[allow]]
+rule = "R2"
+path = "crates/cli/src/args.rs"
+reason = "binary crate help text"
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.allows.len(), 2);
+        assert!(cfg.is_allowed("R1", "crates/nn/src/pool.rs", "expect"));
+        assert!(!cfg.is_allowed("R1", "crates/nn/src/pool.rs", "unwrap"));
+        // No `item` filter: any item matches.
+        assert!(cfg.is_allowed("R2", "crates/cli/src/args.rs", "whatever"));
+        assert!(!cfg.is_allowed("R2", "crates/cli/src/other.rs", "whatever"));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let e = parse("[[allow]]\nrule = \"R1\"\npath = \"x.rs\"\n").unwrap_err();
+        assert!(e.message.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let e = parse("[[allow]]\nrule = \"R1\"\npath = \"x\"\nreason = \"r\"\nbogus = \"v\"\n")
+            .unwrap_err();
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unquoted_value_is_an_error() {
+        let e = parse("[[allow]]\nrule = R1\n").unwrap_err();
+        assert!(e.message.contains("double-quoted"));
+    }
+
+    #[test]
+    fn empty_config_is_fine() {
+        let cfg = parse("# nothing here\n").expect("empty ok");
+        assert!(cfg.allows.is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! `simpadv-lint`: a repo-specific static analyzer for the
+//! adversarial-training workspace.
+//!
+//! The analyzer parses every `.rs` file in the workspace with a
+//! self-contained lexer (no external parser dependency — the build
+//! environment is offline) and enforces six invariants the stack's
+//! correctness rests on; see [`rules::RULES`] for the catalogue and
+//! `DESIGN.md` for the rationale behind each. Diagnostics are rendered
+//! rustc-style (`error[R3]: ... --> path:line`), optionally as JSON, and
+//! `--deny` turns any finding into a non-zero exit for CI.
+//!
+//! Intentional exceptions live in `lint.toml` at the workspace root; every
+//! entry must carry a `reason`.
+
+pub mod config;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// Where in a crate a file lives; rules use this to scope themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Under a `src/` directory — library/binary code.
+    Src,
+    /// Under a `tests/` directory — integration tests.
+    Test,
+    /// Under a `benches/` directory.
+    Bench,
+    /// Under an `examples/` directory.
+    Example,
+    /// Anything else (build scripts, fixtures).
+    Other,
+}
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Directory classification.
+    pub kind: FileKind,
+    /// Cargo package name the file belongs to (e.g. `simpadv-tensor`).
+    pub crate_name: String,
+    /// Lexed and structure-parsed content.
+    pub parsed: parse::ParsedFile,
+}
+
+impl FileUnit {
+    /// Builds a unit from in-memory source; used by rule fixtures and the
+    /// walker alike.
+    pub fn from_source(path: &str, src: &str) -> Self {
+        let (crate_name, kind) = classify(path);
+        FileUnit { path: path.to_string(), kind, crate_name, parsed: parse::parse(lexer::lex(src)) }
+    }
+}
+
+/// Maps a workspace-relative path to (package name, file kind).
+fn classify(path: &str) -> (String, FileKind) {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (crate_name, rest): (String, &[&str]) =
+        if parts.first() == Some(&"crates") && parts.len() > 2 {
+            let pkg = match parts[1] {
+                "tensor" => "simpadv-tensor",
+                "nn" => "simpadv-nn",
+                "data" => "simpadv-data",
+                "attacks" => "simpadv-attacks",
+                "core" => "simpadv",
+                "cli" => "simpadv-cli",
+                "lint" => "simpadv-lint",
+                other => other,
+            };
+            (pkg.to_string(), &parts[2..])
+        } else {
+            ("simpadv-suite".to_string(), &parts[..])
+        };
+    let kind = match rest.first() {
+        Some(&"src") => FileKind::Src,
+        Some(&"tests") => FileKind::Test,
+        Some(&"benches") => FileKind::Bench,
+        Some(&"examples") => FileKind::Example,
+        _ => FileKind::Other,
+    };
+    (crate_name, kind)
+}
+
+/// The set of analyzed files.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All files, in walk order.
+    pub files: Vec<FileUnit>,
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (`R1`..`R6`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The offending item (method name, function name, parameter...);
+    /// matched against `item` in `lint.toml`.
+    pub item: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic rustc-style.
+    pub fn render(&self) -> String {
+        format!("error[{}]: {}\n  --> {}:{}\n", self.rule, self.message, self.path, self.line)
+    }
+
+    /// Renders the diagnostic as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"item\":{},\"message\":{}}}",
+            json_str(self.rule),
+            json_str(&self.path),
+            self.line,
+            json_str(&self.item),
+            json_str(&self.message)
+        )
+    }
+}
+
+/// JSON-escapes a string (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a list of diagnostics as a JSON array.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str("  ");
+        out.push_str(&d.to_json());
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Directories the walker never descends into. `shims/` holds vendored
+/// API-compatibility stubs for external crates (offline environment) and
+/// is third-party surface, not project code.
+const SKIP_DIRS: &[&str] = &["target", "shims", ".git", ".github", "node_modules"];
+
+/// Recursively collects and parses every `.rs` file under `root`.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory traversal or file reads.
+pub fn collect_files(root: &Path) -> std::io::Result<Workspace> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let mut src = String::new();
+        std::fs::File::open(&p)?.read_to_string(&mut src)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(FileUnit::from_source(&rel, &src));
+    }
+    Ok(Workspace { files })
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs rules over the workspace, applies the allowlist, and returns
+/// diagnostics sorted by path, line, and rule id.
+pub fn run(ws: &Workspace, cfg: &config::Config, only_rule: Option<&str>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in rules::RULES {
+        if let Some(only) = only_rule {
+            if rule.id != only {
+                continue;
+            }
+        }
+        out.extend((rule.check)(ws));
+    }
+    out.retain(|d| !cfg.is_allowed(d.rule, &d.path, &d.item));
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_crate_dirs_to_package_names() {
+        assert_eq!(
+            classify("crates/tensor/src/ops.rs"),
+            ("simpadv-tensor".to_string(), FileKind::Src)
+        );
+        assert_eq!(classify("crates/core/tests/train.rs"), ("simpadv".to_string(), FileKind::Test));
+        assert_eq!(classify("src/lib.rs"), ("simpadv-suite".to_string(), FileKind::Src));
+        assert_eq!(classify("tests/end_to_end.rs"), ("simpadv-suite".to_string(), FileKind::Test));
+        assert_eq!(
+            classify("crates/attacks/benches/attack_speed.rs"),
+            ("simpadv-attacks".to_string(), FileKind::Bench)
+        );
+    }
+
+    #[test]
+    fn allowlist_filters_matching_diagnostics() {
+        let ws = Workspace {
+            files: vec![FileUnit::from_source(
+                "crates/nn/src/pool.rs",
+                "fn backward(&self) { self.cache.expect(\"forward first\"); }",
+            )],
+        };
+        let cfg = config::parse(
+            "[[allow]]\nrule = \"R1\"\npath = \"crates/nn/src/pool.rs\"\nitem = \"expect\"\nreason = \"documented contract\"\n",
+        )
+        .expect("config");
+        assert!(run(&ws, &cfg, None).is_empty());
+        // Without the allow entry, it fires.
+        assert_eq!(run(&ws, &config::Config::default(), Some("R1")).len(), 1);
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let d = Diagnostic {
+            rule: "R1",
+            path: "a.rs".into(),
+            line: 3,
+            item: "unwrap".into(),
+            message: "say \"no\"".into(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"R1\",\"path\":\"a.rs\",\"line\":3,\"item\":\"unwrap\",\"message\":\"say \\\"no\\\"\"}"
+        );
+        let arr = render_json(&[d]);
+        assert!(arr.starts_with("[\n") && arr.ends_with("]\n"));
+    }
+}

@@ -1,0 +1,146 @@
+//! CLI entry point for `simpadv-lint`.
+//!
+//! ```text
+//! simpadv-lint [--root DIR] [--config FILE] [--rule RN] [--json] [--deny] [--list]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings without `--deny`), `1` findings with
+//! `--deny`, `2` usage or configuration error.
+
+use simpadv_lint::{collect_files, config, render_json, rules, run};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    rule: Option<String>,
+    json: bool,
+    deny: bool,
+    list: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: simpadv-lint [--root DIR] [--config FILE] [--rule RN] [--json] [--deny] [--list]\n\
+     \n\
+     --root DIR     workspace root to analyze (default: current directory)\n\
+     --config FILE  allowlist file (default: <root>/lint.toml if present)\n\
+     --rule RN      run a single rule (R1..R6)\n\
+     --json         emit diagnostics as a JSON array\n\
+     --deny         exit non-zero when any diagnostic is emitted (CI mode)\n\
+     --list         print the rule catalogue and exit\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        rule: None,
+        json: false,
+        deny: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next().ok_or_else(|| "--root requires a directory".to_string())?,
+                );
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--config requires a file".to_string())?,
+                ));
+            }
+            "--rule" => {
+                let id = it.next().ok_or_else(|| "--rule requires an id (R1..R6)".to_string())?;
+                if rules::rule_by_id(&id).is_none() {
+                    return Err(format!("unknown rule `{id}`; try --list"));
+                }
+                args.rule = Some(id);
+            }
+            "--json" => args.json = true,
+            "--deny" => args.deny = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for rule in rules::RULES {
+            println!("{}: {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = args.config.clone().or_else(|| {
+        let default = args.root.join("lint.toml");
+        default.exists().then_some(default)
+    });
+    let cfg = match config_path {
+        Some(path) => {
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match config::parse(&src) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => config::Config::default(),
+    };
+
+    let ws = match collect_files(&args.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: walking {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = run(&ws, &cfg, args.rule.as_deref());
+
+    if args.json {
+        print!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            print!("{}", d.render());
+        }
+        let scope = args.rule.as_deref().unwrap_or("R1..R6");
+        eprintln!(
+            "simpadv-lint: {} file(s) analyzed, {} diagnostic(s) [{}]",
+            ws.files.len(),
+            diags.len(),
+            scope
+        );
+    }
+
+    if args.deny && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

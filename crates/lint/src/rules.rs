@@ -1,0 +1,617 @@
+//! The six invariant rules (R1–R6).
+//!
+//! Each rule is a pure function from a [`Workspace`] to diagnostics. The
+//! rules are syntactic but token-accurate: comments and string literals
+//! can never trigger them, test code is masked out where a rule targets
+//! library code, and the one sanctioned panic idiom —
+//! `unwrap_or_else(|e| panic!("{e}"))` — is recognized by walking the
+//! enclosing-call chain rather than by text matching.
+
+use crate::parse::ParsedFile;
+use crate::{Diagnostic, FileKind, FileUnit, Workspace};
+
+/// Library crates whose `src/` must be free of ad-hoc panics (R1).
+const PANIC_FREE_CRATES: &[&str] =
+    &["simpadv-tensor", "simpadv-nn", "simpadv-data", "simpadv-attacks", "simpadv"];
+
+/// A rule's identity and entry point.
+pub struct Rule {
+    /// Stable id (`R1`..`R6`), referenced from `lint.toml`.
+    pub id: &'static str,
+    /// One-line summary shown by `--list`.
+    pub summary: &'static str,
+    /// The checker.
+    pub check: fn(&Workspace) -> Vec<Diagnostic>,
+}
+
+/// The rule registry, in id order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "R1",
+        summary: "no unwrap()/expect()/bare panic! in library crate non-test code; \
+                  the sanctioned form is try_*().unwrap_or_else(|e| panic!(\"{e}\"))",
+        check: rule_r1_panic_hygiene,
+    },
+    Rule {
+        id: "R2",
+        summary: "public functions that can panic must document a `# Panics` section",
+        check: rule_r2_panics_docs,
+    },
+    Rule {
+        id: "R3",
+        summary: "attack constructors must validate epsilon/step with \
+                  is_finite() and >= 0.0",
+        check: rule_r3_ctor_validation,
+    },
+    Rule {
+        id: "R4",
+        summary: "no hand-rolled epsilon-ball clamping in crates/attacks outside \
+                  projection.rs; use project_ball",
+        check: rule_r4_projection_routing,
+    },
+    Rule {
+        id: "R5",
+        summary: "no thread_rng/from_entropy/rand::random outside \
+                  crates/tensor/src/rng.rs; all randomness is seeded",
+        check: rule_r5_rng_discipline,
+    },
+    Rule {
+        id: "R6",
+        summary: "panicking tensor ops built on the unwrap_or_else wrapper must \
+                  expose a try_* sibling returning TensorError",
+        check: rule_r6_try_siblings,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+fn diag(rule: &'static str, file: &FileUnit, line: u32, item: &str, message: String) -> Diagnostic {
+    Diagnostic { rule, path: file.path.clone(), line, item: item.to_string(), message }
+}
+
+/// Whether token `i` begins a macro invocation of `name` (`name` followed
+/// by `!`).
+fn is_macro(p: &ParsedFile, i: usize, name: &str) -> bool {
+    p.ident(i) == Some(name) && p.is_punct(i + 1, '!')
+}
+
+/// R1: panic hygiene in library crates.
+fn rule_r1_panic_hygiene(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Src || !PANIC_FREE_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            if p.test_mask[i] {
+                continue;
+            }
+            match p.ident(i) {
+                Some(m @ ("unwrap" | "expect")) if p.is_method_call(i) => {
+                    out.push(diag(
+                        "R1",
+                        file,
+                        p.line(i),
+                        m,
+                        format!(
+                            ".{m}() in library code; propagate the error or use the \
+                             sanctioned `try_*().unwrap_or_else(|e| panic!(\"{{e}}\"))` wrapper"
+                        ),
+                    ));
+                }
+                Some("panic") if p.is_punct(i + 1, '!') => {
+                    // Sanctioned when the panic! is an argument of
+                    // unwrap_or_else (the documented wrapper idiom).
+                    if p.enclosing_calls(i).contains(&"unwrap_or_else") {
+                        continue;
+                    }
+                    out.push(diag(
+                        "R1",
+                        file,
+                        p.line(i),
+                        "panic",
+                        "bare `panic!` in library code; return a TensorError (or use \
+                         an assert with an invariant message) instead"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Idents that make a function body panic-capable for R2.
+fn body_can_panic(p: &ParsedFile, body: std::ops::Range<usize>) -> bool {
+    for i in body {
+        if let Some(id) = p.ident(i) {
+            match id {
+                "panic" | "assert" | "assert_eq" | "assert_ne" | "unreachable" | "todo"
+                | "unimplemented"
+                    if p.is_punct(i + 1, '!') =>
+                {
+                    return true;
+                }
+                "unwrap" | "expect" if p.is_method_call(i) => {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// R2: `# Panics` documentation on panic-capable public functions.
+fn rule_r2_panics_docs(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Src {
+            continue;
+        }
+        let p = &file.parsed;
+        for f in &p.functions {
+            if !f.is_pub || f.in_test || f.body.is_empty() {
+                continue;
+            }
+            if body_can_panic(p, f.body.clone()) && !f.doc.contains("# Panics") {
+                out.push(diag(
+                    "R2",
+                    file,
+                    f.line,
+                    &f.name,
+                    format!(
+                        "public function `{}` can panic but its docs have no \
+                         `# Panics` section",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Constructor parameters that R3 requires to be validated.
+const VALIDATED_PARAMS: &[&str] = &["epsilon", "eps", "step", "step_size"];
+
+/// Whether some `assert!(...)` region in `body` validates `param` with both
+/// `is_finite()` and a `>= 0.0` bound.
+fn body_validates(p: &ParsedFile, body: std::ops::Range<usize>, param: &str) -> bool {
+    let mut i = body.start;
+    while i < body.end {
+        if is_macro(p, i, "assert") && p.is_open(i + 2, '(') {
+            let close = p.match_of[i + 2];
+            if close != usize::MAX {
+                let region = i + 3..close.min(body.end);
+                let mentions = region.clone().any(|k| p.ident(k) == Some(param));
+                let finite = region.clone().any(|k| p.ident(k) == Some("is_finite"));
+                let lower_bound = region.clone().any(|k| {
+                    p.is_punct(k, '>')
+                        && p.is_punct(k + 1, '=')
+                        && matches!(
+                            p.tokens.get(k + 2).map(|t| &t.kind),
+                            Some(crate::lexer::TokenKind::Literal(l)) if l.starts_with("0.0")
+                        )
+                });
+                if mentions && finite && lower_bound {
+                    return true;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// R3: attack constructors validate their numeric hyperparameters.
+fn rule_r3_ctor_validation(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Src || file.crate_name != "simpadv-attacks" {
+            continue;
+        }
+        let p = &file.parsed;
+        for f in &p.functions {
+            if f.name != "new" || f.in_test || f.body.is_empty() {
+                continue;
+            }
+            for param in &f.params {
+                if !VALIDATED_PARAMS.contains(&param.as_str()) {
+                    continue;
+                }
+                if !body_validates(p, f.body.clone(), param) {
+                    out.push(diag(
+                        "R3",
+                        file,
+                        f.line,
+                        param,
+                        format!(
+                            "constructor `new` takes `{param}` but does not validate it; \
+                             add `assert!({param} >= 0.0 && {param}.is_finite(), ...)`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Clamp-family methods R4 watches for.
+const CLAMP_METHODS: &[&str] = &["clamp", "maximum", "minimum", "min", "max"];
+
+/// R4: epsilon-ball projection must go through `project_ball`.
+fn rule_r4_projection_routing(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Src
+            || file.crate_name != "simpadv-attacks"
+            || file.path.ends_with("projection.rs")
+        {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            if p.test_mask[i] {
+                continue;
+            }
+            let Some(m) = p.ident(i) else { continue };
+            if !CLAMP_METHODS.contains(&m) || !p.is_method_call(i) {
+                continue;
+            }
+            let close = p.match_of[i + 1];
+            if close == usize::MAX {
+                continue;
+            }
+            let arg_has_eps = (i + 2..close).any(|k| matches!(p.ident(k), Some("epsilon" | "eps")));
+            if arg_has_eps {
+                out.push(diag(
+                    "R4",
+                    file,
+                    p.line(i),
+                    m,
+                    format!(
+                        "hand-rolled epsilon clamping via `.{m}(..epsilon..)`; all \
+                         ball projection must go through `projection::project_ball`"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// R5: seeded-randomness discipline.
+fn rule_r5_rng_discipline(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.path.ends_with("crates/tensor/src/rng.rs")
+            || file.path == "crates/tensor/src/rng.rs"
+        {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            match p.ident(i) {
+                Some(id @ ("thread_rng" | "from_entropy")) => {
+                    out.push(diag(
+                        "R5",
+                        file,
+                        p.line(i),
+                        id,
+                        format!(
+                            "`{id}` introduces unseeded randomness; construct rngs via \
+                             `StdRng::seed_from_u64` (see crates/tensor/src/rng.rs)"
+                        ),
+                    ));
+                }
+                Some("rand")
+                    if p.is_punct(i + 1, ':')
+                        && p.is_punct(i + 2, ':')
+                        && p.ident(i + 3) == Some("random") =>
+                {
+                    out.push(diag(
+                        "R5",
+                        file,
+                        p.line(i),
+                        "random",
+                        "`rand::random` draws from an implicit global rng; thread an \
+                         explicit seeded rng instead"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// R6: wrapper-pattern tensor ops expose `try_*` siblings.
+fn rule_r6_try_siblings(ws: &Workspace) -> Vec<Diagnostic> {
+    // Collect every function name defined in tensor src (cross-file).
+    let mut tensor_fns: Vec<&str> = Vec::new();
+    for file in &ws.files {
+        if file.kind == FileKind::Src && file.crate_name == "simpadv-tensor" {
+            tensor_fns.extend(file.parsed.functions.iter().map(|f| f.name.as_str()));
+        }
+    }
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Src || file.crate_name != "simpadv-tensor" {
+            continue;
+        }
+        let p = &file.parsed;
+        for f in &p.functions {
+            if !f.is_pub || f.in_test || f.body.is_empty() || f.name.starts_with("try_") {
+                continue;
+            }
+            let uses_wrapper =
+                f.body.clone().any(|i| p.ident(i) == Some("unwrap_or_else") && p.is_method_call(i));
+            if !uses_wrapper {
+                continue;
+            }
+            let sibling = format!("try_{}", f.name);
+            if !tensor_fns.iter().any(|n| *n == sibling) {
+                out.push(diag(
+                    "R6",
+                    file,
+                    f.line,
+                    &f.name,
+                    format!(
+                        "panicking op `{}` wraps a fallible computation but no \
+                         `{sibling}` sibling exists; expose the Result-returning form",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files.iter().map(|(path, src)| FileUnit::from_source(path, src)).collect(),
+        }
+    }
+
+    fn run(rule: &str, files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        (rule_by_id(rule).expect("known rule").check)(&ws(files))
+    }
+
+    // ---- R1 ----
+
+    #[test]
+    fn r1_fires_on_unwrap_in_library_src() {
+        let d = run(
+            "R1",
+            &[("crates/tensor/src/ops.rs", "pub fn f(x: Option<f32>) -> f32 { x.unwrap() }")],
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].item, "unwrap");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn r1_fires_on_expect_and_bare_panic() {
+        let src = r#"
+fn a(x: Option<u8>) -> u8 { x.expect("boom") }
+fn b() { panic!("no"); }
+"#;
+        let d = run("R1", &[("crates/nn/src/layer.rs", src)]);
+        let items: Vec<&str> = d.iter().map(|d| d.item.as_str()).collect();
+        assert_eq!(items, vec!["expect", "panic"]);
+    }
+
+    #[test]
+    fn r1_allows_sanctioned_wrapper_and_test_code() {
+        let src = r#"
+pub fn matmul(&self, o: &T) -> T {
+    self.try_matmul(o).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); y.expect("fine"); panic!("fine"); }
+}
+"#;
+        assert!(run("R1", &[("crates/tensor/src/linalg.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn r1_ignores_non_library_crates_and_strings() {
+        let files = [
+            ("crates/cli/src/main.rs", "fn main() { x.unwrap(); }"),
+            (
+                "crates/tensor/src/doc.rs",
+                r#"pub fn f() -> &'static str { "call .unwrap() at your peril" }"#,
+            ),
+        ];
+        assert!(run("R1", &files).is_empty());
+    }
+
+    // ---- R2 ----
+
+    #[test]
+    fn r2_fires_on_undocumented_panicking_pub_fn() {
+        let src = r#"
+/// Adds.
+pub fn add(a: usize, b: usize) -> usize {
+    assert!(a < 100, "too big");
+    a + b
+}
+"#;
+        let d = run("R2", &[("crates/tensor/src/ops.rs", src)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].item, "add");
+    }
+
+    #[test]
+    fn r2_satisfied_by_panics_section_and_skips_private() {
+        let src = r#"
+/// Adds.
+///
+/// # Panics
+///
+/// Panics when `a >= 100`.
+pub fn add(a: usize) -> usize { assert!(a < 100); a }
+
+fn private_helper(a: usize) -> usize { assert!(a < 100); a }
+
+pub fn no_panic(a: usize) -> usize { a + 1 }
+"#;
+        assert!(run("R2", &[("crates/tensor/src/ops.rs", src)]).is_empty());
+    }
+
+    // ---- R3 ----
+
+    #[test]
+    fn r3_fires_when_epsilon_not_validated() {
+        let src = r#"
+impl Fgsm {
+    pub fn new(epsilon: f32) -> Self {
+        Self { epsilon }
+    }
+}
+"#;
+        let d = run("R3", &[("crates/attacks/src/fgsm.rs", src)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].item, "epsilon");
+    }
+
+    #[test]
+    fn r3_accepts_seed_idiom_and_checks_each_param() {
+        let src = r#"
+impl Pgd {
+    pub fn new(epsilon: f32, step: f32, iters: usize) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "invalid epsilon {epsilon}");
+        Self { epsilon, step, iters }
+    }
+}
+"#;
+        // epsilon validated, step not: exactly one diagnostic, for step.
+        let d = run("R3", &[("crates/attacks/src/pgd.rs", src)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].item, "step");
+    }
+
+    #[test]
+    fn r3_requires_is_finite_not_just_lower_bound() {
+        let src = r#"
+impl A {
+    pub fn new(epsilon: f32) -> Self {
+        assert!(epsilon >= 0.0, "negative epsilon");
+        Self { epsilon }
+    }
+}
+"#;
+        let d = run("R3", &[("crates/attacks/src/a.rs", src)]);
+        assert_eq!(d.len(), 1);
+    }
+
+    // ---- R4 ----
+
+    #[test]
+    fn r4_fires_on_manual_epsilon_clamp() {
+        let src = r#"
+fn step(&self, x: &T, orig: &T) -> T {
+    x.clamp(orig.sub_scalar(self.epsilon), orig.add_scalar(self.epsilon))
+}
+"#;
+        let d = run("R4", &[("crates/attacks/src/pgd.rs", src)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].item, "clamp");
+    }
+
+    #[test]
+    fn r4_allows_projection_rs_and_plain_clamps() {
+        let files = [
+            (
+                "crates/attacks/src/projection.rs",
+                "pub fn project_ball(x: &T, eps: f32) -> T { x.maximum(eps) }",
+            ),
+            ("crates/attacks/src/l2.rs", "fn f(x: &T) -> T { x.clamp(0.0, 1.0) }"),
+        ];
+        assert!(run("R4", &files).is_empty());
+    }
+
+    #[test]
+    fn r4_fires_on_min_max_pair_with_eps() {
+        let src = "fn f(&self) -> T { d.max(-eps).min(eps) }";
+        let d = run("R4", &[("crates/attacks/src/custom.rs", src)]);
+        assert_eq!(d.len(), 2);
+    }
+
+    // ---- R5 ----
+
+    #[test]
+    fn r5_fires_everywhere_except_tensor_rng() {
+        let files = [
+            ("crates/data/src/synth.rs", "fn f() { let mut r = thread_rng(); }"),
+            ("crates/nn/src/init.rs", "fn g() { let r = StdRng::from_entropy(); }"),
+            ("crates/core/src/train.rs", "fn h() -> f32 { rand::random() }"),
+            ("crates/tensor/src/rng.rs", "fn ok() { let r = thread_rng(); }"),
+        ];
+        let d = run("R5", &files);
+        let items: Vec<&str> = d.iter().map(|d| d.item.as_str()).collect();
+        assert_eq!(items, vec!["thread_rng", "from_entropy", "random"]);
+    }
+
+    #[test]
+    fn r5_ignores_seeded_construction() {
+        let src = "fn f() { let r = StdRng::seed_from_u64(42); }";
+        assert!(run("R5", &[("crates/core/src/train.rs", src)]).is_empty());
+    }
+
+    // ---- R6 ----
+
+    #[test]
+    fn r6_fires_when_wrapper_has_no_try_sibling() {
+        let src = r#"
+pub fn matmul(&self, o: &T) -> T {
+    self.inner_mul(o).unwrap_or_else(|e| panic!("{e}"))
+}
+"#;
+        let d = run("R6", &[("crates/tensor/src/linalg.rs", src)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].item, "matmul");
+    }
+
+    #[test]
+    fn r6_satisfied_by_cross_file_sibling() {
+        let files = [
+            (
+                "crates/tensor/src/linalg.rs",
+                "pub fn matmul(&self, o: &T) -> T { self.try_matmul(o).unwrap_or_else(|e| panic!(\"{e}\")) }",
+            ),
+            (
+                "crates/tensor/src/fallible.rs",
+                "pub fn try_matmul(&self, o: &T) -> Result<T, TensorError> { todo_body() }",
+            ),
+        ];
+        assert!(run("R6", &files).is_empty());
+    }
+
+    #[test]
+    fn r6_skips_non_wrapper_and_try_fns() {
+        let src = r#"
+pub fn shape(&self) -> &[usize] { &self.shape }
+pub fn try_reshape(&self, s: &[usize]) -> Result<T, E> { inner(s) }
+"#;
+        assert!(run("R6", &[("crates/tensor/src/ops.rs", src)]).is_empty());
+    }
+}

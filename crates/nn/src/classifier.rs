@@ -208,11 +208,7 @@ impl GradientModel for Classifier {
         self.forward_passes += 1;
         let logits = self.net.forward(x, Mode::Eval);
         let grad_logits = grad_of_logits(&logits);
-        assert_eq!(
-            grad_logits.shape(),
-            logits.shape(),
-            "custom logit gradient shape mismatch"
-        );
+        assert_eq!(grad_logits.shape(), logits.shape(), "custom logit gradient shape mismatch");
         self.net.zero_grad();
         self.backward_passes += 1;
         let grad_x = self.net.backward(&grad_logits);

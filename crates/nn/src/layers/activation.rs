@@ -316,7 +316,8 @@ mod tests {
     #[test]
     fn softmax_rows_sum_to_one() {
         let mut l = Softmax::new();
-        let y = l.forward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]), Mode::Eval);
+        let y =
+            l.forward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]), Mode::Eval);
         for i in 0..2 {
             assert!((y.row(i).sum() - 1.0).abs() < 1e-6);
         }

@@ -104,15 +104,9 @@ impl Layer for Conv2d {
         let cols = self.cached_cols.as_ref().expect("conv backward before forward");
         let n = self.cached_batch;
         let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
-        assert_eq!(
-            grad_output.shape(),
-            &[n, self.c_out, oh, ow],
-            "conv backward shape mismatch"
-        );
+        assert_eq!(grad_output.shape(), &[n, self.c_out, oh, ow], "conv backward shape mismatch");
         // [n, c_out, oh, ow] -> [n*oh*ow, c_out]
-        let g_cols = grad_output
-            .permute(&[0, 2, 3, 1])
-            .reshape(&[n * oh * ow, self.c_out]);
+        let g_cols = grad_output.permute(&[0, 2, 3, 1]).reshape(&[n * oh * ow, self.c_out]);
         // dW += g_colsᵀ @ cols, db += Σ g_cols
         self.grad_weight.add_assign(&g_cols.matmul_tn(cols));
         self.grad_bias.add_assign(&g_cols.sum_axis(0));
@@ -218,6 +212,7 @@ mod tests {
     #[should_panic(expected = "channel mismatch")]
     fn forward_validates_channels() {
         let mut rng = StdRng::seed_from_u64(0);
-        Conv2d::new(2, 2, 3, 1, 1, 4, 4, &mut rng).forward(&Tensor::zeros(&[1, 3, 4, 4]), Mode::Eval);
+        Conv2d::new(2, 2, 3, 1, 1, 4, 4, &mut rng)
+            .forward(&Tensor::zeros(&[1, 3, 4, 4]), Mode::Eval);
     }
 }

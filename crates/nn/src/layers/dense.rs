@@ -1,7 +1,7 @@
 //! Fully connected (affine) layer.
 
-use crate::layer::{expect_state, Layer, Mode, ParamRef};
 use crate::init::WeightInit;
+use crate::layer::{expect_state, Layer, Mode, ParamRef};
 use rand::Rng;
 use simpadv_tensor::Tensor;
 
@@ -94,10 +94,7 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("dense backward called before forward");
+        let input = self.cached_input.as_ref().expect("dense backward called before forward");
         assert_eq!(
             grad_output.shape(),
             &[input.shape()[0], self.out_features()],

@@ -47,7 +47,8 @@ impl Layer for MaxPool2d {
                         let dst = ((b * c + ch) * oh + oy) * ow + ox;
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                let src = plane + (oy * self.stride + ky) * w + ox * self.stride + kx;
+                                let src =
+                                    plane + (oy * self.stride + ky) * w + ox * self.stride + kx;
                                 if data[src] > out[dst] {
                                     out[dst] = data[src];
                                     arg[dst] = src;
@@ -116,7 +117,8 @@ impl Layer for AvgPool2d {
                         let mut acc = 0.0;
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                acc += data[plane + (oy * self.stride + ky) * w + ox * self.stride + kx];
+                                acc += data
+                                    [plane + (oy * self.stride + ky) * w + ox * self.stride + kx];
                             }
                         }
                         out[((b * c + ch) * oh + oy) * ow + ox] = acc * norm;
@@ -150,7 +152,10 @@ impl Layer for AvgPool2d {
                         let gv = g[((b * c + ch) * oh + oy) * ow + ox] * norm;
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                gslice[plane + (oy * self.stride + ky) * w + ox * self.stride + kx] += gv;
+                                gslice[plane
+                                    + (oy * self.stride + ky) * w
+                                    + ox * self.stride
+                                    + kx] += gv;
                             }
                         }
                     }

@@ -39,9 +39,6 @@
 //! assert!(loss1 < loss0, "training reduces the loss on a fixed batch");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod classifier;
 mod init;
 mod layer;

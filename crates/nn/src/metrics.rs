@@ -114,6 +114,10 @@ impl ConfusionMatrix {
     }
 
     /// Per-class recall: diagonal / row sum (`None` for unseen classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range for the matrix.
     pub fn recall(&self, class: usize) -> Option<f32> {
         assert!(class < self.classes, "class index out of range");
         let row: u64 = (0..self.classes).map(|j| self.counts[class * self.classes + j]).sum();
@@ -126,6 +130,10 @@ impl ConfusionMatrix {
 
     /// Per-class precision: diagonal / column sum (`None` when never
     /// predicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is out of range for the matrix.
     pub fn precision(&self, class: usize) -> Option<f32> {
         assert!(class < self.classes, "class index out of range");
         let col: u64 = (0..self.classes).map(|i| self.counts[i * self.classes + class]).sum();

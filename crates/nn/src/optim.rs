@@ -177,7 +177,10 @@ impl Adam {
     /// Panics unless `lr > 0` and both betas lie in `[0, 1)`.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0,1)"
+        );
         Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
     }
 }
@@ -316,18 +319,17 @@ mod tests {
         let mut w = Tensor::zeros(&[3]);
         let mut g = Tensor::zeros(&[3]);
         for _ in 0..steps {
-            for i in 0..3 {
-                g.as_mut_slice()[i] = 2.0 * (w.as_slice()[i] - target[i]);
+            for (i, t) in target.iter().enumerate() {
+                g.as_mut_slice()[i] = 2.0 * (w.as_slice()[i] - t);
             }
             let mut params = vec![ParamRef { value: &mut w, grad: &mut g }];
             opt.step(&mut params);
         }
-        for i in 0..3 {
+        for (i, t) in target.iter().enumerate() {
             assert!(
-                (w.as_slice()[i] - target[i]).abs() < tol,
-                "w[{i}] = {} did not converge to {}",
+                (w.as_slice()[i] - t).abs() < tol,
+                "w[{i}] = {} did not converge to {t}",
                 w.as_slice()[i],
-                target[i]
             );
         }
     }

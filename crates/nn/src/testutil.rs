@@ -46,6 +46,12 @@ pub fn check_layer_gradients_mode(
 /// needed for layers whose gradient is only piecewise smooth (max pooling),
 /// where random inputs can land two window entries within the
 /// finite-difference step of each other.
+///
+/// # Panics
+///
+/// Panics when an analytic gradient disagrees with its finite-difference
+/// estimate beyond `tol` — this is the assertion the gradient-check tests
+/// rely on.
 pub fn check_layer_gradients_with_input(
     layer: &mut dyn Layer,
     x: &Tensor,

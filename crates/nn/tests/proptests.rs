@@ -4,17 +4,13 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simpadv_nn::{
-    accuracy, log_softmax, softmax, Dense, Layer, Loss, Mode, Relu, Sequential,
-    SoftmaxCrossEntropy,
+    accuracy, log_softmax, softmax, Dense, Layer, Loss, Mode, Relu, Sequential, SoftmaxCrossEntropy,
 };
 use simpadv_tensor::Tensor;
 
 fn logits_strategy() -> impl Strategy<Value = (Tensor, Vec<usize>)> {
     (1usize..6, 2usize..6).prop_flat_map(|(n, c)| {
-        (
-            prop::collection::vec(-8.0f32..8.0, n * c),
-            prop::collection::vec(0usize..c, n),
-        )
+        (prop::collection::vec(-8.0f32..8.0, n * c), prop::collection::vec(0usize..c, n))
             .prop_map(move |(data, labels)| (Tensor::from_vec(data, &[n, c]), labels))
     })
 }

@@ -34,7 +34,14 @@ impl Conv2dGeometry {
     ///
     /// Panics if the kernel (after padding) does not fit in the input or the
     /// stride is zero.
-    pub fn new(in_h: usize, in_w: usize, k_h: usize, k_w: usize, stride: usize, padding: usize) -> Self {
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         assert!(stride > 0, "stride must be positive");
         assert!(
             in_h + 2 * padding >= k_h && in_w + 2 * padding >= k_w,

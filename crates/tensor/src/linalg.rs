@@ -67,11 +67,27 @@ impl Tensor {
     /// Panics if either operand is not rank 2 or the shared dimension
     /// disagrees.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
-        check_rank2(self, "matmul_tn").unwrap_or_else(|e| panic!("{e}"));
-        check_rank2(rhs, "matmul_tn").unwrap_or_else(|e| panic!("{e}"));
+        self.try_matmul_tn(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Tensor::matmul_tn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-2-D operands and
+    /// [`TensorError::ShapeMismatch`] when the shared dimension disagrees.
+    pub fn try_matmul_tn(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        check_rank2(self, "matmul_tn")?;
+        check_rank2(rhs, "matmul_tn")?;
         let (k, m) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
-        assert_eq!(k, k2, "matmul_tn shared-dimension mismatch: {:?} vs {:?}", self.shape(), rhs.shape());
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+                op: "matmul_tn",
+            });
+        }
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -89,7 +105,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(out, &[m, n])
+        Ok(Tensor::from_vec(out, &[m, n]))
     }
 
     /// `self @ rhsᵀ` without materializing the transpose.
@@ -101,11 +117,27 @@ impl Tensor {
     /// Panics if either operand is not rank 2 or the shared dimension
     /// disagrees.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
-        check_rank2(self, "matmul_nt").unwrap_or_else(|e| panic!("{e}"));
-        check_rank2(rhs, "matmul_nt").unwrap_or_else(|e| panic!("{e}"));
+        self.try_matmul_nt(rhs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Tensor::matmul_nt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-2-D operands and
+    /// [`TensorError::ShapeMismatch`] when the shared dimension disagrees.
+    pub fn try_matmul_nt(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        check_rank2(self, "matmul_nt")?;
+        check_rank2(rhs, "matmul_nt")?;
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
-        assert_eq!(k, k2, "matmul_nt shared-dimension mismatch: {:?} vs {:?}", self.shape(), rhs.shape());
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+                op: "matmul_nt",
+            });
+        }
         let a = self.as_slice();
         let b = rhs.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -121,7 +153,7 @@ impl Tensor {
                 *o = acc;
             }
         }
-        Tensor::from_vec(out, &[m, n])
+        Ok(Tensor::from_vec(out, &[m, n]))
     }
 
     /// Inner (dot) product of two 1-D tensors.

@@ -1,6 +1,7 @@
 //! Element-wise arithmetic, broadcasting binary operations and operator
 //! overloads for [`Tensor`].
 
+use crate::error::TensorError;
 use crate::shape::{broadcast_shapes, broadcast_strides};
 use crate::tensor::Tensor;
 use std::ops::{Add, Div, Mul, Neg, Sub};
@@ -131,18 +132,27 @@ impl Tensor {
     ///
     /// Panics when the shapes cannot be broadcast together.
     pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Tensor {
+        self.try_zip_map(other, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Tensor::zip_map`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes cannot be
+    /// broadcast together.
+    pub fn try_zip_map<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        f: F,
+    ) -> Result<Tensor, TensorError> {
         // Fast path: identical shapes.
         if self.shape() == other.shape() {
-            let data = self
-                .as_slice()
-                .iter()
-                .zip(other.as_slice())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
-            return Tensor::from_vec(data, self.shape());
+            let data =
+                self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| f(a, b)).collect();
+            return Ok(Tensor::from_vec(data, self.shape()));
         }
-        let out_shape = broadcast_shapes(self.shape(), other.shape())
-            .unwrap_or_else(|e| panic!("{e}"));
+        let out_shape = broadcast_shapes(self.shape(), other.shape())?;
         let sa = broadcast_strides(self.shape(), &out_shape);
         let sb = broadcast_strides(other.shape(), &out_shape);
         let len: usize = out_shape.iter().product();
@@ -165,7 +175,7 @@ impl Tensor {
                 index[axis] = 0;
             }
         }
-        Tensor::from_vec(data, &out_shape)
+        Ok(Tensor::from_vec(data, &out_shape))
     }
 
     /// Element-wise addition with broadcasting.

@@ -52,11 +52,20 @@ impl Tensor {
     ///
     /// Panics on an empty tensor.
     pub fn min(&self) -> f32 {
+        self.try_min().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Tensor::min`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyReduction`] on an empty tensor.
+    pub fn try_min(&self) -> Result<f32, TensorError> {
         self.as_slice()
             .iter()
             .copied()
             .reduce(f32::min)
-            .unwrap_or_else(|| panic!("{}", TensorError::EmptyReduction { op: "min" }))
+            .ok_or(TensorError::EmptyReduction { op: "min" })
     }
 
     /// Flat index of the maximum element (first occurrence).

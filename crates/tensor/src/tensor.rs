@@ -338,7 +338,10 @@ impl Tensor {
     pub fn rows(&self, range: std::ops::Range<usize>) -> Tensor {
         assert!(self.rank() >= 1, "rows() needs rank >= 1");
         let n = self.shape[0];
-        assert!(range.start <= range.end && range.end <= n, "row range {range:?} out of bounds for axis of size {n}");
+        assert!(
+            range.start <= range.end && range.end <= n,
+            "row range {range:?} out of bounds for axis of size {n}"
+        );
         let stride: usize = self.shape[1..].iter().product();
         let data = self.data[range.start * stride..range.end * stride].to_vec();
         let mut shape = self.shape.clone();

@@ -9,8 +9,7 @@ fn small_shape() -> impl Strategy<Value = Vec<usize>> {
 
 fn tensor_with_shape(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let len: usize = shape.iter().product();
-    prop::collection::vec(-10.0f32..10.0, len)
-        .prop_map(move |data| Tensor::from_vec(data, &shape))
+    prop::collection::vec(-10.0f32..10.0, len).prop_map(move |data| Tensor::from_vec(data, &shape))
 }
 
 fn small_tensor() -> impl Strategy<Value = Tensor> {

@@ -20,10 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // one clean sample per class, both datasets
     for dataset in [SynthDataset::Mnist, SynthDataset::Fashion] {
         let data = dataset.generate(&SynthConfig::new(10, 42));
-        for i in 0..10 {
+        for (i, fashion_name) in FASHION_NAMES.iter().enumerate() {
             let name = match dataset {
                 SynthDataset::Mnist => format!("mnist_{i}.pgm"),
-                SynthDataset::Fashion => format!("fashion_{}_{}.pgm", i, FASHION_NAMES[i]),
+                SynthDataset::Fashion => format!("fashion_{i}_{fashion_name}.pgm"),
             };
             save_pgm(&data.images().row(i), out_dir.join(name))?;
         }

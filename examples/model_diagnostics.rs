@@ -21,8 +21,11 @@ fn main() {
 
     println!("training the proposed defense ...");
     let mut clf = ModelSpec::default_mlp().build(7);
-    ProposedTrainer::paper_defaults(eps)
-        .train(&mut clf, &train, &TrainConfig::new(40, 0).with_lr_decay(0.96));
+    ProposedTrainer::paper_defaults(eps).train(
+        &mut clf,
+        &train,
+        &TrainConfig::new(40, 0).with_lr_decay(0.96),
+    );
 
     // 1. is the robustness real, or obfuscated gradients?
     println!("\n{}", audit_masking(&mut clf, &test, eps, 11));
@@ -39,7 +42,11 @@ fn main() {
 
     // 3. stability under pure noise (no gradients involved)
     let subset = test.subset(&(0..50).collect::<Vec<_>>());
-    let (acc, margin) = SmoothedClassifier::new(&mut clf, 0.35, 24, 5)
-        .stability(subset.images(), subset.labels());
-    println!("\nsmoothed accuracy at sigma 0.35: {:.1}% (mean vote margin {:.2})", acc * 100.0, margin);
+    let (acc, margin) =
+        SmoothedClassifier::new(&mut clf, 0.35, 24, 5).stability(subset.images(), subset.labels());
+    println!(
+        "\nsmoothed accuracy at sigma 0.35: {:.1}% (mean vote margin {:.2})",
+        acc * 100.0,
+        margin
+    );
 }

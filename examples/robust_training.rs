@@ -49,11 +49,7 @@ fn main() {
         for a in &eval.accuracies {
             print!("{:>9.1}%", a * 100.0);
         }
-        println!(
-            "{:>12.3}{:>12.0}",
-            report.mean_epoch_seconds(),
-            report.mean_gradient_passes()
-        );
+        println!("{:>12.3}{:>12.0}", report.mean_epoch_seconds(), report.mean_gradient_passes());
     }
     println!("\nReading: only the methods that train on iterative (or epoch-wise iterated)");
     println!("adversarial examples hold up against BIM, and the proposed method does so");

@@ -18,10 +18,7 @@ fn main() {
     let config = TrainConfig::new(48, 0).with_lr_decay(0.96);
 
     println!("proposed-method ablation on synthetic MNIST (eps = {eps})\n");
-    println!(
-        "{:<26}{:>10}{:>12}",
-        "variant", "clean", "bim(10)"
-    );
+    println!("{:<26}{:>10}{:>12}", "variant", "clean", "bim(10)");
 
     // Step-size sweep (reset period fixed at the paper's 20).
     for (label, step) in [

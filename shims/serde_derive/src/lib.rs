@@ -1,0 +1,322 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` (and its `syn`/`quote` dependency tree) is not
+//! available in this build environment, so this crate derives the shim
+//! `serde`'s value-tree [`Serialize`]/[`Deserialize`] traits by walking the
+//! `proc_macro` token stream directly. Supported input shapes — which cover
+//! every derived type in the workspace — are:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit-like or carry named fields
+//!   (externally tagged, like real serde's default).
+//!
+//! Tuple structs, tuple variants, generics, and `#[serde(...)]` attributes
+//! are rejected with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: just its identifier (the type is never needed — the
+/// generated code lets inference pick the right `Serialize`/`Deserialize`
+/// impl per field).
+struct Fields {
+    names: Vec<String>,
+}
+
+enum Shape {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Option<Fields>)> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error tokens")
+}
+
+/// Extracts the field identifiers from the brace-delimited body of a struct
+/// or struct-like enum variant.
+fn parse_named_fields(body: TokenStream) -> Result<Fields, String> {
+    let mut names = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip leading attributes (doc comments arrive as #[doc = "..."]).
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Optional visibility.
+        match tokens.peek() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => {}
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Consume the type up to the next top-level comma. Generic angle
+        // brackets never nest commas at depth 0 relative to `<`...`>`
+        // tracking below.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    Ok(Fields { names })
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<(String, Option<Fields>)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                tokens.next();
+                Some(parse_named_fields(body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple variant `{name}` is not supported by the serde shim"));
+            }
+            _ => None,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push((name, fields));
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(
+                    "explicit enum discriminants are not supported by the serde shim".into()
+                );
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` after variant")),
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported by the serde shim"));
+        }
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => TokenStream::new(),
+        other => return Err(format!("expected `{{`-delimited body, found {other:?}")),
+    };
+    match kind.as_str() {
+        "struct" => Ok(Shape::Struct { name, fields: parse_named_fields(body)? }),
+        "enum" => Ok(Shape::Enum { name, variants: parse_enum_variants(body)? }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derives the shim `serde::Serialize` (value-tree based).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"
+                    ),
+                    Some(fs) => {
+                        let binds = fs.names.join(", ");
+                        let pushes: String = fs
+                            .names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![({v:?}.to_string(), ::serde::Value::Object(inner))])\n\
+                             }},\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl should tokenize")
+}
+
+/// Derives the shim `serde::Deserialize` (value-tree based).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .names
+                .iter()
+                .map(|f| format!("{f}: ::serde::object_field(value, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: String = fs
+                        .names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::object_field(inner, {f:?})?,\n"))
+                        .collect();
+                    format!("{v:?} => return Ok({name}::{v} {{ {inits} }}),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::String(s) = value {{\n\
+                             match s.as_str() {{\n{unit_arms}\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                         if let ::serde::Value::Object(entries) = value {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n{tagged_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::custom(concat!(\"invalid value for enum \", stringify!({name}))))\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl should tokenize")
+}

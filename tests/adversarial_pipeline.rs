@@ -17,11 +17,8 @@ fn attacks_respect_constraints_against_trained_models() {
     let x = test.images().rows(0..20);
     let y = test.labels()[..20].to_vec();
     let eps = 0.3;
-    let mut attacks: Vec<Box<dyn Attack>> = vec![
-        Box::new(Fgsm::new(eps)),
-        Box::new(Bim::new(eps, 10)),
-        Box::new(Pgd::new(eps, 10, 3)),
-    ];
+    let mut attacks: Vec<Box<dyn Attack>> =
+        vec![Box::new(Fgsm::new(eps)), Box::new(Bim::new(eps, 10)), Box::new(Pgd::new(eps, 10, 3))];
     for attack in attacks.iter_mut() {
         let adv = attack.perturb(&mut clf, &x, &y);
         assert!(linf_distance(&adv, &x) <= eps + 1e-5, "{} violates budget", attack.id());

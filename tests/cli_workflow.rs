@@ -4,8 +4,8 @@
 use simpadv_cli::{run, Args, SavedModel};
 
 fn cli(line: &str) -> Result<String, String> {
-    let args = Args::parse(line.split_whitespace().map(str::to_string))
-        .map_err(|e| e.to_string())?;
+    let args =
+        Args::parse(line.split_whitespace().map(str::to_string)).map_err(|e| e.to_string())?;
     let mut out = Vec::new();
     run(&args, &mut out).map_err(|e| e.to_string())?;
     Ok(String::from_utf8(out).expect("utf8"))
@@ -41,10 +41,8 @@ fn generate_train_evaluate_attack_workflow() {
     }
 
     // attack renders before/after ASCII art
-    let text = cli(&format!(
-        "attack --model {model} --dataset mnist --attack pgd10 --index 2"
-    ))
-    .unwrap();
+    let text =
+        cli(&format!("attack --model {model} --dataset mnist --attack pgd10 --index 2")).unwrap();
     assert!(text.contains("true label 2"));
     assert!(text.contains("pgd(10)"));
 }
