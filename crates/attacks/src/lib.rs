@@ -50,6 +50,7 @@ mod l2;
 mod margin;
 mod mim;
 mod noise;
+pub mod parallel;
 mod pgd;
 mod projection;
 mod targeted;

@@ -3,12 +3,13 @@
 //! DESIGN.md lists beyond the paper's own exhibits.
 
 use simpadv::experiments::ablation;
-use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
+    let (scale, threads) = scale_from_args(&args);
+    apply_threads(threads);
     eprintln!("ablation at scale {scale:?}");
     let result = ablation::run(SynthDataset::Mnist, &scale);
     println!("{result}");

@@ -4,12 +4,13 @@
 
 use simpadv::train::{ProposedTrainer, Trainer, VanillaTrainer};
 use simpadv::{audit_masking, ModelSpec};
-use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
+    let (scale, threads) = scale_from_args(&args);
+    apply_threads(threads);
     let dataset = SynthDataset::Mnist;
     let (train, test) = scale.load(dataset);
     let eps = dataset.paper_epsilon();

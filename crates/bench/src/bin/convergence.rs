@@ -2,12 +2,13 @@
 //! training epochs for FGSM-Adv, the proposed method and BIM(10)-Adv.
 
 use simpadv::experiments::convergence;
-use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
+    let (scale, threads) = scale_from_args(&args);
+    apply_threads(threads);
     // epoch grid scaled to the configured budget
     let max = scale.epochs;
     let grid: Vec<usize> = [1, 2, 4, 8].iter().map(|f| (max * f / 8).max(1)).collect();

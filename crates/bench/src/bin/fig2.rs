@@ -2,12 +2,13 @@
 //! iterate, for the four probe classifiers on both synthetic datasets.
 
 use simpadv::experiments::fig2;
-use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
+    let (scale, threads) = scale_from_args(&args);
+    apply_threads(threads);
     eprintln!("figure 2 at scale {scale:?}");
     let mut artifacts = Vec::new();
     for dataset in [SynthDataset::Mnist, SynthDataset::Fashion] {

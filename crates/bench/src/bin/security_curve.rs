@@ -2,12 +2,13 @@
 //! for Vanilla / FGSM-Adv / Proposed / BIM(10)-Adv.
 
 use simpadv::experiments::security_curve;
-use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
+    let (scale, threads) = scale_from_args(&args);
+    apply_threads(threads);
     eprintln!("security curves at scale {scale:?}");
     let result = security_curve::run(SynthDataset::Mnist, &scale);
     println!("{result}");

@@ -3,11 +3,12 @@
 //! training cost per epoch.
 
 use simpadv::experiments::table1;
-use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from_args(&args);
+    let (scale, threads) = scale_from_args(&args);
+    apply_threads(threads);
     eprintln!("table 1 at scale {scale:?}");
     let result = table1::run(&scale);
     println!("{result}");

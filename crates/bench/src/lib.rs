@@ -16,23 +16,42 @@ use simpadv::experiments::ExperimentScale;
 
 /// Parses the common CLI of the regeneration binaries.
 ///
-/// Recognized flags: `--full`, `--smoke` (default: quick). Unknown flags
-/// abort with a usage message.
+/// Recognized flags: `--full`, `--smoke`, `--quick` (default: quick) and
+/// `--threads N` (returned for [`apply_threads`]). Unknown flags or a
+/// missing/invalid `--threads` value abort with a usage message.
 #[expect(clippy::exit, reason = "CLI usage-error abort in the regeneration binaries")]
-pub fn scale_from_args(args: &[String]) -> ExperimentScale {
+pub fn scale_from_args(args: &[String]) -> (ExperimentScale, Option<usize>) {
     let mut scale = ExperimentScale::quick();
-    for a in args {
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => scale = ExperimentScale::full(),
             "--smoke" => scale = ExperimentScale::smoke(),
             "--quick" => scale = ExperimentScale::quick(),
+            "--threads" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer value");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag {other}; use --smoke | --quick | --full");
+                eprintln!("unknown flag {other}; use --smoke | --quick | --full | --threads N");
                 std::process::exit(2);
             }
         }
     }
-    scale
+    (scale, threads)
+}
+
+/// Applies a parsed `--threads` override to the process-global runtime;
+/// `None` keeps the default (`SIMPADV_THREADS`, else all cores). Results
+/// are bitwise identical either way — the flag only changes wall-clock.
+pub fn apply_threads(threads: Option<usize>) {
+    if let Some(n) = threads {
+        simpadv_runtime::set_global_threads(n);
+    }
 }
 
 /// Writes a JSON artifact under `results/`, creating the directory.
@@ -56,21 +75,40 @@ pub fn write_artifact<T: serde::Serialize>(
 mod tests {
     use super::*;
 
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
     #[test]
     fn default_scale_is_quick() {
-        let s = scale_from_args(&[]);
+        let (s, threads) = scale_from_args(&[]);
         assert_eq!(s.train_samples, ExperimentScale::quick().train_samples);
+        assert_eq!(threads, None);
     }
 
     #[test]
     fn full_flag_selects_full() {
-        let s = scale_from_args(&["--full".to_string()]);
+        let (s, _) = scale_from_args(&argv("--full"));
         assert_eq!(s.train_samples, ExperimentScale::full().train_samples);
     }
 
     #[test]
     fn smoke_flag_selects_smoke() {
-        let s = scale_from_args(&["--smoke".to_string()]);
+        let (s, _) = scale_from_args(&argv("--smoke"));
         assert_eq!(s.train_samples, ExperimentScale::smoke().train_samples);
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_alongside_scale() {
+        let (s, threads) = scale_from_args(&argv("--smoke --threads 4"));
+        assert_eq!(s.train_samples, ExperimentScale::smoke().train_samples);
+        assert_eq!(threads, Some(4));
+        let (_, threads) = scale_from_args(&argv("--threads 2 --full"));
+        assert_eq!(threads, Some(2));
+    }
+
+    #[test]
+    fn apply_threads_none_is_a_no_op() {
+        apply_threads(None);
     }
 }

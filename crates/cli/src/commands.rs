@@ -59,6 +59,11 @@ COMMANDS
   attack    --model FILE --dataset mnist|fashion [--attack A] [--index I]
             attacks: noise fgsm llfgsm bim10 bim30 pgd10 mim10 fgml2 pgdl2
   help
+
+GLOBAL OPTIONS
+  --threads N  worker threads for training/evaluation (default: the
+               SIMPADV_THREADS environment variable, else all cores);
+               results are bitwise identical for any N
 ";
 
 /// Dispatches a parsed command line, writing human output to `out`.
@@ -67,6 +72,7 @@ COMMANDS
 ///
 /// Returns [`CliError`] on unknown commands, bad options or I/O failures.
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    apply_threads(args)?;
     match args.command.as_str() {
         "generate" => cmd_generate(args, out),
         "train" => cmd_train(args, out),
@@ -78,6 +84,18 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         }
         other => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
+}
+
+/// Applies the global `--threads` option: sets the process-wide worker
+/// count every subcommand's training/evaluation runs with. Absent, the
+/// runtime falls back to `SIMPADV_THREADS`, then to all cores.
+fn apply_threads(args: &Args) -> Result<(), CliError> {
+    if let Ok(v) = args.require("threads") {
+        let n: usize =
+            v.parse().map_err(|_| CliError(format!("option --threads: cannot parse '{v}'")))?;
+        simpadv_runtime::try_set_global_threads(n).map_err(|e| CliError(e.to_string()))?;
+    }
+    Ok(())
 }
 
 fn parse_dataset(args: &Args) -> Result<SynthDataset, CliError> {
@@ -117,7 +135,7 @@ fn parse_attack(name: &str, eps: f32, seed: u64) -> Result<Box<dyn Attack>, CliE
 }
 
 fn cmd_generate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["dataset", "samples", "seed", "preview"])?;
+    args.expect_only(&["dataset", "samples", "seed", "preview", "threads"])?;
     let dataset = parse_dataset(args)?;
     let samples = args.get_num("samples", 100usize)?;
     let seed = args.get_num("seed", 1u64)?;
@@ -139,7 +157,7 @@ fn cmd_generate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 }
 
 fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["dataset", "method", "epochs", "samples", "seed", "out", "lr"])?;
+    args.expect_only(&["dataset", "method", "epochs", "samples", "seed", "out", "lr", "threads"])?;
     let dataset = parse_dataset(args)?;
     let eps = dataset.paper_epsilon();
     let method = args.get_or("method", "proposed").to_string();
@@ -171,7 +189,7 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 }
 
 fn cmd_evaluate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["model", "dataset", "samples", "seed"])?;
+    args.expect_only(&["model", "dataset", "samples", "seed", "threads"])?;
     let dataset = parse_dataset(args)?;
     let saved = SavedModel::load(File::open(args.require("model")?)?)?;
     let mut clf = saved.restore();
@@ -192,7 +210,7 @@ fn cmd_evaluate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 }
 
 fn cmd_attack<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["model", "dataset", "attack", "index", "seed"])?;
+    args.expect_only(&["model", "dataset", "attack", "index", "seed", "threads"])?;
     let dataset = parse_dataset(args)?;
     let saved = SavedModel::load(File::open(args.require("model")?)?)?;
     let mut clf = saved.restore();
@@ -287,6 +305,17 @@ mod tests {
     #[test]
     fn train_rejects_unknown_method() {
         assert!(run_line("train --dataset mnist --method magic").is_err());
+    }
+
+    #[test]
+    fn threads_option_is_accepted_and_validated() {
+        let text = run_line("generate --dataset mnist --samples 4 --threads 2").unwrap();
+        assert!(text.contains("generated 4"));
+        assert!(run_line("generate --dataset mnist --threads 0").is_err());
+        assert!(run_line("generate --dataset mnist --threads lots").is_err());
+        assert!(USAGE.contains("--threads"));
+        // leave the process-wide default as other tests expect it
+        simpadv_runtime::set_global_threads(1);
     }
 
     #[test]

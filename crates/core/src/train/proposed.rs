@@ -4,9 +4,10 @@
 use super::{run_epochs, train_on_mixture, Trainer};
 use crate::config::TrainConfig;
 use crate::report::TrainReport;
-use simpadv_attacks::signed_step;
+use simpadv_attacks::parallel::signed_step_parallel;
 use simpadv_data::Dataset;
 use simpadv_nn::Classifier;
+use simpadv_runtime::Runtime;
 
 /// The proposed method (Figure 3b of the paper).
 ///
@@ -88,9 +89,14 @@ impl Trainer for ProposedTrainer {
                 last_reset_epoch = epoch;
             }
             // One large signed step from the carried-over examples,
-            // projected onto the ε-ball of the *clean* images.
+            // projected onto the ε-ball of the *clean* images. The step
+            // runs chunk-parallel on model replicas; credit the one
+            // batch-equivalent forward/backward pair back to `clf` so the
+            // per-epoch cost bookkeeping still matches FGSM-Adv.
             let carried = adv_state.gather_rows(idx);
-            let adv = signed_step(clf, &carried, x, y, step, epsilon);
+            let adv =
+                signed_step_parallel(&Runtime::global(), &*clf, &carried, x, y, step, epsilon);
+            clf.credit_external_passes(1, 1);
             crate::contracts::check_adv_batch(&adv, x, epsilon);
             for (k, &i) in idx.iter().enumerate() {
                 adv_state.set_row(i, &adv.row(k));

@@ -3,7 +3,7 @@
 //!
 //! The analyzer parses every `.rs` file in the workspace with a
 //! self-contained lexer (no external parser dependency — the build
-//! environment is offline) and enforces six invariants the stack's
+//! environment is offline) and enforces seven invariants the stack's
 //! correctness rests on; see [`rules::RULES`] for the catalogue and
 //! `DESIGN.md` for the rationale behind each. Diagnostics are rendered
 //! rustc-style (`error[R3]: ... --> path:line`), optionally as JSON, and
@@ -63,6 +63,7 @@ fn classify(path: &str) -> (String, FileKind) {
     let (crate_name, rest): (String, &[&str]) =
         if parts.first() == Some(&"crates") && parts.len() > 2 {
             let pkg = match parts[1] {
+                "runtime" => "simpadv-runtime",
                 "tensor" => "simpadv-tensor",
                 "nn" => "simpadv-nn",
                 "data" => "simpadv-data",
@@ -96,7 +97,7 @@ pub struct Workspace {
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Rule id (`R1`..`R6`).
+    /// Rule id (`R1`..`R7`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -241,6 +242,10 @@ mod tests {
         assert_eq!(
             classify("crates/tensor/src/ops.rs"),
             ("simpadv-tensor".to_string(), FileKind::Src)
+        );
+        assert_eq!(
+            classify("crates/runtime/src/lib.rs"),
+            ("simpadv-runtime".to_string(), FileKind::Src)
         );
         assert_eq!(classify("crates/core/tests/train.rs"), ("simpadv".to_string(), FileKind::Test));
         assert_eq!(classify("src/lib.rs"), ("simpadv-suite".to_string(), FileKind::Src));

@@ -1,4 +1,4 @@
-//! The six invariant rules (R1–R6).
+//! The seven invariant rules (R1–R7).
 //!
 //! Each rule is a pure function from a [`Workspace`] to diagnostics. The
 //! rules are syntactic but token-accurate: comments and string literals
@@ -11,12 +11,18 @@ use crate::parse::ParsedFile;
 use crate::{Diagnostic, FileKind, FileUnit, Workspace};
 
 /// Library crates whose `src/` must be free of ad-hoc panics (R1).
-const PANIC_FREE_CRATES: &[&str] =
-    &["simpadv-tensor", "simpadv-nn", "simpadv-data", "simpadv-attacks", "simpadv"];
+const PANIC_FREE_CRATES: &[&str] = &[
+    "simpadv-runtime",
+    "simpadv-tensor",
+    "simpadv-nn",
+    "simpadv-data",
+    "simpadv-attacks",
+    "simpadv",
+];
 
 /// A rule's identity and entry point.
 pub struct Rule {
-    /// Stable id (`R1`..`R6`), referenced from `lint.toml`.
+    /// Stable id (`R1`..`R7`), referenced from `lint.toml`.
     pub id: &'static str,
     /// One-line summary shown by `--list`.
     pub summary: &'static str,
@@ -60,6 +66,12 @@ pub const RULES: &[Rule] = &[
         summary: "panicking tensor ops built on the unwrap_or_else wrapper must \
                   expose a try_* sibling returning TensorError",
         check: rule_r6_try_siblings,
+    },
+    Rule {
+        id: "R7",
+        summary: "std::thread is permitted only in crates/runtime; everywhere else \
+                  parallelism goes through simpadv_runtime::Runtime",
+        check: rule_r7_thread_containment,
     },
 ];
 
@@ -378,6 +390,45 @@ fn rule_r6_try_siblings(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
+/// R7: `std::thread` is confined to the runtime crate.
+///
+/// Direct threading anywhere else would re-introduce exactly the
+/// nondeterminism the runtime's fixed-chunk/ordered-reduction contract
+/// exists to rule out, so both `std::thread::...` paths and
+/// `thread::...` calls (after a `use std::thread`) are flagged.
+fn rule_r7_thread_containment(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.crate_name == "simpadv-runtime" {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            if p.ident(i) != Some("thread") {
+                continue;
+            }
+            let path_use = p.is_punct(i + 1, ':') && p.is_punct(i + 2, ':');
+            let std_qualified = i >= 3
+                && p.ident(i - 3) == Some("std")
+                && p.is_punct(i - 2, ':')
+                && p.is_punct(i - 1, ':');
+            if path_use || std_qualified {
+                out.push(diag(
+                    "R7",
+                    file,
+                    p.line(i),
+                    "thread",
+                    "`std::thread` outside crates/runtime; express parallelism \
+                     through a `simpadv_runtime::Runtime` so the determinism \
+                     contract (fixed chunking, ordered reduction) holds"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,5 +664,30 @@ pub fn shape(&self) -> &[usize] { &self.shape }
 pub fn try_reshape(&self, s: &[usize]) -> Result<T, E> { inner(s) }
 "#;
         assert!(run("R6", &[("crates/tensor/src/ops.rs", src)]).is_empty());
+    }
+
+    // ---- R7 ----
+
+    #[test]
+    fn r7_fires_on_std_thread_outside_runtime() {
+        let files = [
+            ("crates/nn/src/layer.rs", "fn f() { std::thread::sleep(d); }"),
+            ("crates/core/src/eval.rs", "use std::thread;\nfn g() { thread::spawn(|| {}); }"),
+        ];
+        let d = run("R7", &files);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|d| d.item == "thread"));
+        assert_eq!(d[1].line, 1); // the `use std::thread` import itself
+        assert_eq!(d[2].line, 2); // the `thread::spawn` call
+    }
+
+    #[test]
+    fn r7_allows_runtime_crate_and_unrelated_idents() {
+        let files = [
+            ("crates/runtime/src/lib.rs", "fn f() { std::thread::scope(|s| work(s)); }"),
+            ("crates/core/src/train.rs", "fn g(threads: usize) -> usize { threads + 1 }"),
+            ("crates/data/src/synth.rs", "fn h() { let thread = 3; let x = thread; }"),
+        ];
+        assert!(run("R7", &files).is_empty());
     }
 }

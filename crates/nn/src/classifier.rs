@@ -48,7 +48,7 @@ pub trait GradientModel {
 /// `logits`, and `loss_and_input_grad` for attack generation — plus
 /// gradient-pass counters used for the cost accounting in the paper's
 /// Table I.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Classifier {
     net: Sequential,
     loss: SoftmaxCrossEntropy,
@@ -108,6 +108,19 @@ impl Classifier {
     pub fn reset_pass_counters(&mut self) {
         self.forward_passes = 0;
         self.backward_passes = 0;
+    }
+
+    /// Credits passes performed on behalf of this classifier by replicas
+    /// (e.g. data-parallel attack crafting on clones).
+    ///
+    /// Counted in batch-row equivalents: a batch processed as several
+    /// parallel chunks costs the same row count as one serial pass, so
+    /// callers credit one forward/backward per logical batch regardless
+    /// of chunking. This keeps the Table I cost accounting independent
+    /// of the thread count.
+    pub fn credit_external_passes(&mut self, forward: u64, backward: u64) {
+        self.forward_passes += forward;
+        self.backward_passes += backward;
     }
 
     /// Training-mode forward pass (dropout active, batch-norm batch stats).

@@ -40,7 +40,12 @@ pub struct ParamRef<'a> {
 /// `backward` after `forward(Mode::Eval)` is permitted and must produce the
 /// gradients of the *evaluation* function — attacks differentiate the
 /// deterministic inference network.
-pub trait Layer: std::fmt::Debug {
+///
+/// Layers are `Send + Sync` (they hold plain tensors, scalars, and seeded
+/// rngs) so model replicas can cross `simpadv-runtime` worker boundaries,
+/// and [`Layer::clone_box`] produces those replicas from behind the trait
+/// object.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Runs the layer on `input`, caching state for `backward`.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 
@@ -65,6 +70,13 @@ pub trait Layer: std::fmt::Debug {
 
     /// A short human-readable layer name (e.g. `"dense"`).
     fn name(&self) -> &'static str;
+
+    /// An independent deep copy of this layer behind a fresh box.
+    ///
+    /// Replicas carry the full layer state (parameters, buffers, rng
+    /// state) and share nothing with the original; data-parallel code
+    /// clones a model per worker and discards the replicas afterwards.
+    fn clone_box(&self) -> Box<dyn Layer>;
 
     /// Number of trainable scalars in this layer.
     fn param_count(&mut self) -> usize {
@@ -106,7 +118,7 @@ pub(crate) fn expect_state(state: &[(String, Tensor)], key: &str) -> Tensor {
 mod tests {
     use super::*;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Identity;
     impl Layer for Identity {
         fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
@@ -117,6 +129,9 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "identity"
+        }
+        fn clone_box(&self) -> Box<dyn Layer> {
+            Box::new(self.clone())
         }
     }
 

@@ -4,7 +4,7 @@ use crate::layer::{Layer, Mode};
 use simpadv_tensor::Tensor;
 
 /// Rectified linear unit: `max(0, x)`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Relu {
     cached_input: Option<Tensor>,
 }
@@ -17,6 +17,10 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         self.cached_input = Some(input.clone());
         input.map(|v| v.max(0.0))
@@ -34,7 +38,7 @@ impl Layer for Relu {
 }
 
 /// Leaky rectified linear unit: `x` for `x > 0`, `alpha * x` otherwise.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LeakyRelu {
     alpha: f32,
     cached_input: Option<Tensor>,
@@ -65,6 +69,10 @@ impl Default for LeakyRelu {
 }
 
 impl Layer for LeakyRelu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         self.cached_input = Some(input.clone());
         let a = self.alpha;
@@ -83,7 +91,7 @@ impl Layer for LeakyRelu {
 }
 
 /// Logistic sigmoid: `1 / (1 + e^{-x})`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Sigmoid {
     cached_output: Option<Tensor>,
 }
@@ -96,6 +104,10 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
         self.cached_output = Some(out.clone());
@@ -113,7 +125,7 @@ impl Layer for Sigmoid {
 }
 
 /// Hyperbolic tangent.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Tanh {
     cached_output: Option<Tensor>,
 }
@@ -126,6 +138,10 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let out = input.map(f32::tanh);
         self.cached_output = Some(out.clone());
@@ -143,7 +159,7 @@ impl Layer for Tanh {
 }
 
 /// Softplus: `ln(1 + eˣ)` — a smooth ReLU.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Softplus {
     cached_input: Option<Tensor>,
 }
@@ -156,6 +172,10 @@ impl Softplus {
 }
 
 impl Layer for Softplus {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         self.cached_input = Some(input.clone());
         // numerically stable: max(x, 0) + ln(1 + e^{-|x|})
@@ -174,7 +194,7 @@ impl Layer for Softplus {
 }
 
 /// GELU (tanh approximation), the transformer-era smooth activation.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Gelu {
     cached_input: Option<Tensor>,
 }
@@ -193,6 +213,10 @@ impl Gelu {
 }
 
 impl Layer for Gelu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         self.cached_input = Some(input.clone());
         input.map(|v| v * Self::phi(v))
@@ -220,7 +244,7 @@ impl Layer for Gelu {
 /// Normally classifiers train with the fused
 /// [`crate::SoftmaxCrossEntropy`] loss and never materialize probabilities;
 /// this layer exists for inference pipelines and calibration analysis.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Softmax {
     cached_output: Option<Tensor>,
 }
@@ -233,6 +257,10 @@ impl Softmax {
 }
 
 impl Layer for Softmax {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let out = crate::loss::softmax(input);
         self.cached_output = Some(out.clone());

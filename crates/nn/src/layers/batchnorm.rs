@@ -8,7 +8,7 @@ use simpadv_tensor::Tensor;
 /// In [`Mode::Train`] the layer normalizes with batch statistics and updates
 /// exponential running statistics; in [`Mode::Eval`] it uses the running
 /// statistics, making inference deterministic.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm1d {
     gamma: Tensor,
     beta: Tensor,
@@ -22,7 +22,7 @@ pub struct BatchNorm1d {
     cached: Option<BnCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BnCache {
     xhat: Tensor,
     rstd: Tensor, // 1/sqrt(var+eps), per feature
@@ -64,6 +64,10 @@ impl BatchNorm1d {
 }
 
 impl Layer for BatchNorm1d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 2, "batchnorm expects [n, d], got {:?}", input.shape());
         assert_eq!(input.shape()[1], self.gamma.len(), "batchnorm feature mismatch");

@@ -24,7 +24,7 @@ use simpadv_tensor::{col2im, im2col, Conv2dGeometry, Tensor};
 /// let y = conv.forward(&Tensor::zeros(&[2, 1, 28, 28]), Mode::Eval);
 /// assert_eq!(y.shape(), &[2, 4, 28, 28]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Tensor, // [c_out, c_in*kh*kw]
     bias: Tensor,   // [c_out]
@@ -87,6 +87,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 4, "conv expects [n, c, h, w], got {:?}", input.shape());
         assert_eq!(input.shape()[1], self.c_in, "conv channel mismatch");

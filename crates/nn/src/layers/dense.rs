@@ -22,7 +22,7 @@ use simpadv_tensor::Tensor;
 /// let y = layer.forward(&Tensor::ones(&[4, 3]), Mode::Eval);
 /// assert_eq!(y.shape(), &[4, 2]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     weight: Tensor,
     bias: Tensor,
@@ -80,6 +80,10 @@ impl Dense {
 }
 
 impl Layer for Dense {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 2, "dense expects [n, d] input, got {:?}", input.shape());
         assert_eq!(

@@ -11,7 +11,7 @@ use simpadv_tensor::Tensor;
 ///
 /// The layer owns a seeded RNG, so a training run using dropout is exactly
 /// reproducible.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     rng: StdRng,
@@ -37,6 +37,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         match mode {
             Mode::Eval => {

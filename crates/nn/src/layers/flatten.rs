@@ -5,7 +5,7 @@ use simpadv_tensor::Tensor;
 
 /// Flattens `[n, d1, d2, ...]` to `[n, d1*d2*...]`, preserving the batch
 /// axis. Backward restores the original shape.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Flatten {
     cached_shape: Vec<usize>,
 }
@@ -18,6 +18,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert!(input.rank() >= 2, "flatten expects a batched input, got {:?}", input.shape());
         self.cached_shape = input.shape().to_vec();

@@ -5,7 +5,7 @@ use simpadv_tensor::Tensor;
 
 /// Max pooling over non-overlapping (or strided) square windows of a
 /// `[n, c, h, w]` tensor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
@@ -32,6 +32,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 4, "maxpool expects [n, c, h, w], got {:?}", input.shape());
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
@@ -81,7 +85,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Average pooling over square windows of a `[n, c, h, w]` tensor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2d {
     kernel: usize,
     stride: usize,
@@ -101,6 +105,10 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 4, "avgpool expects [n, c, h, w], got {:?}", input.shape());
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);

@@ -31,6 +31,10 @@ impl Reshape {
 }
 
 impl Layer for Reshape {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert!(input.rank() >= 2, "reshape expects a batched input, got {:?}", input.shape());
         let n = input.shape()[0];

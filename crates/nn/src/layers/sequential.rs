@@ -31,6 +31,13 @@ pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
 
+impl Clone for Sequential {
+    /// Deep-copies every layer via [`Layer::clone_box`].
+    fn clone(&self) -> Self {
+        Sequential { layers: self.layers.iter().map(|l| l.clone_box()).collect() }
+    }
+}
+
 impl Sequential {
     /// Creates a container from an ordered layer list.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
@@ -65,6 +72,10 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {

@@ -6,6 +6,25 @@
 //! exactly what the backward pass of the convolution needs.
 
 use crate::tensor::Tensor;
+use simpadv_runtime::Runtime;
+
+/// Output elements below which the lowering loops stay serial.
+const PAR_ELEM_THRESHOLD: usize = 1 << 18;
+
+/// Fixed fan-out of the batched lowering loops; chunk boundaries depend
+/// only on the batch size, per the simpadv-runtime determinism contract.
+const BATCH_CHUNKS: usize = 16;
+
+/// The runtime and image-chunk size for an `n`-image lowering producing
+/// `elems` output floats, or `None` to run serially.
+fn parallel_plan(n: usize, elems: usize) -> Option<(Runtime, usize)> {
+    let rt = Runtime::global();
+    if rt.threads() > 1 && n > 1 && elems >= PAR_ELEM_THRESHOLD {
+        Some((rt, n.div_ceil(BATCH_CHUNKS).max(1)))
+    } else {
+        None
+    }
+}
 
 /// Geometry of a 2-D convolution: input/kernel sizes, stride and padding.
 ///
@@ -110,33 +129,52 @@ pub fn im2col(input: &Tensor, channels: usize, geom: &Conv2dGeometry) -> Tensor 
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let (kh, kw) = (geom.k_h, geom.k_w);
     let cols_per_row = c * kh * kw;
-    let mut out = vec![0.0f32; n * oh * ow * cols_per_row];
     let data = input.as_slice();
-    let pad = geom.padding as isize;
-    for b in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((b * oh + oy) * ow + ox) * cols_per_row;
-                for ch in 0..c {
-                    for ky in 0..kh {
-                        let iy = (oy * geom.stride + ky) as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // stays zero (zero padding)
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * geom.stride + kx) as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+
+    // Patch columns for images `images`: one contiguous row block per
+    // image, so per-image blocks concatenate into the full lowering.
+    let image_block = |images: std::ops::Range<usize>| -> Vec<f32> {
+        let mut out = vec![0.0f32; images.len() * oh * ow * cols_per_row];
+        let pad = geom.padding as isize;
+        for (block_b, b) in images.enumerate() {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((block_b * oh + oy) * ow + ox) * cols_per_row;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * geom.stride + ky) as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue; // stays zero (zero padding)
                             }
-                            let src = ((b * c + ch) * h + iy as usize) * w + ix as usize;
-                            let dst = row + (ch * kh + ky) * kw + kx;
-                            out[dst] = data[src];
+                            for kx in 0..kw {
+                                let ix = (ox * geom.stride + kx) as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let src = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                                let dst = row + (ch * kh + ky) * kw + kx;
+                                out[dst] = data[src];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+        out
+    };
+
+    let total = n * oh * ow * cols_per_row;
+    let out = match parallel_plan(n, total) {
+        Some((rt, chunk)) => {
+            let blocks = rt.par_chunks(n, chunk, image_block);
+            let mut out = Vec::with_capacity(total);
+            for block in blocks {
+                out.extend_from_slice(&block);
+            }
+            out
+        }
+        None => image_block(0..n),
+    };
     Tensor::from_vec(out, &[n * oh * ow, cols_per_row])
 }
 
@@ -160,33 +198,54 @@ pub fn col2im(cols: &Tensor, n: usize, channels: usize, geom: &Conv2dGeometry) -
         cols_per_row,
         cols.shape()
     );
-    let mut out = vec![0.0f32; n * channels * h * w];
     let data = cols.as_slice();
-    let pad = geom.padding as isize;
-    for b in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((b * oh + oy) * ow + ox) * cols_per_row;
-                for ch in 0..channels {
-                    for ky in 0..kh {
-                        let iy = (oy * geom.stride + ky) as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * geom.stride + kx) as isize - pad;
-                            if ix < 0 || ix >= w as isize {
+
+    // Image gradients for images `images`: overlap sums only ever cross
+    // pixels of the *same* image, so per-image blocks are independent and
+    // concatenate into the full scatter with the serial summation order.
+    let image_block = |images: std::ops::Range<usize>| -> Vec<f32> {
+        let mut out = vec![0.0f32; images.len() * channels * h * w];
+        let pad = geom.padding as isize;
+        for (block_b, b) in images.enumerate() {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((b * oh + oy) * ow + ox) * cols_per_row;
+                    for ch in 0..channels {
+                        for ky in 0..kh {
+                            let iy = (oy * geom.stride + ky) as isize - pad;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            let dst = ((b * channels + ch) * h + iy as usize) * w + ix as usize;
-                            let src = row + (ch * kh + ky) * kw + kx;
-                            out[dst] += data[src];
+                            for kx in 0..kw {
+                                let ix = (ox * geom.stride + kx) as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let dst =
+                                    ((block_b * channels + ch) * h + iy as usize) * w + ix as usize;
+                                let src = row + (ch * kh + ky) * kw + kx;
+                                out[dst] += data[src];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+        out
+    };
+
+    let total = n * channels * h * w;
+    let out = match parallel_plan(n, total.max(n * oh * ow * cols_per_row)) {
+        Some((rt, chunk)) => {
+            let blocks = rt.par_chunks(n, chunk, image_block);
+            let mut out = Vec::with_capacity(total);
+            for block in blocks {
+                out.extend_from_slice(&block);
+            }
+            out
+        }
+        None => image_block(0..n),
+    };
     Tensor::from_vec(out, &[n, channels, h, w])
 }
 

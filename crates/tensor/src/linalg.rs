@@ -1,12 +1,119 @@
 //! Dense linear algebra: matrix multiplication variants, dot and outer
 //! products.
 //!
-//! The matmul kernels use the cache-friendly `i-k-j` loop order; on the
-//! single-core CPU targets of this project that is within a small factor of
-//! a tuned BLAS for the matrix sizes that occur (hundreds by hundreds).
+//! The matmul kernels use the cache-friendly `i-k-j` loop order; that is
+//! within a small factor of a tuned BLAS for the matrix sizes that occur
+//! (hundreds by hundreds). Products above [`PAR_WORK_THRESHOLD`] are
+//! row-blocked across the global [`Runtime`]: every output row is
+//! computed by the same per-row loop as the serial kernel and the blocks
+//! are concatenated in row order, so parallel results are bitwise equal
+//! to serial ones for any thread count.
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
+use simpadv_runtime::Runtime;
+
+/// Work size (`m * k * n` multiply-accumulates) below which the matmul
+/// kernels stay serial: thread spawn overhead beats the parallel win for
+/// small products.
+const PAR_WORK_THRESHOLD: usize = 1 << 21;
+
+/// Fixed fan-out of the row-blocked kernels. Chunk boundaries depend only
+/// on the row count — never on the thread count — per the simpadv-runtime
+/// determinism contract.
+const KERNEL_CHUNKS: usize = 16;
+
+/// The runtime and row-chunk size to use for an `m`-row product with
+/// `work = m * k * n`, or `None` to run serially.
+fn parallel_plan(m: usize, k: usize, n: usize) -> Option<(Runtime, usize)> {
+    let rt = Runtime::global();
+    if rt.threads() > 1 && m > 1 && m.saturating_mul(k).saturating_mul(n) >= PAR_WORK_THRESHOLD {
+        Some((rt, m.div_ceil(KERNEL_CHUNKS).max(1)))
+    } else {
+        None
+    }
+}
+
+/// Concatenates per-chunk output row blocks (already in row order).
+fn concat_blocks(blocks: Vec<Vec<f32>>, m: usize, n: usize) -> Tensor {
+    let mut out = Vec::with_capacity(m * n);
+    for block in blocks {
+        out.extend_from_slice(&block);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Rows `rows` of `a @ b` (`a: [m, k]`, `b: [k, n]`), `i-k-j` order.
+fn matmul_rows(a: &[f32], b: &[f32], rows: std::ops::Range<usize>, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (row_idx, i) in rows.enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[row_idx * n..(row_idx + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Rows `rows` of `aᵀ @ b` (`a: [k, m]`, `b: [k, n]`): for each output
+/// row `i`, accumulates over `p` in increasing order with the same
+/// zero-skip as the serial `p`-outer kernel, so per-element flop order —
+/// and therefore the f32 result — is identical.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (row_idx, i) in rows.enumerate() {
+        let orow = &mut out[row_idx * n..(row_idx + 1) * n];
+        for p in 0..k {
+            let av = a[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Rows `rows` of `a @ bᵀ` (`a: [m, k]`, `b: [n, k]`), dot per cell.
+fn matmul_nt_rows(
+    a: &[f32],
+    b: &[f32],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (row_idx, i) in rows.enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[row_idx * n..(row_idx + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
 
 impl Tensor {
     /// Matrix product `self @ rhs` of two rank-2 tensors.
@@ -41,21 +148,11 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
+        if let Some((rt, chunk)) = parallel_plan(m, k, n) {
+            let blocks = rt.par_chunks(m, chunk, |rows| matmul_rows(a, b, rows, k, n));
+            return Ok(concat_blocks(blocks, m, n));
         }
-        Ok(Tensor::from_vec(out, &[m, n]))
+        Ok(Tensor::from_vec(matmul_rows(a, b, 0..m, k, n), &[m, n]))
     }
 
     /// `selfᵀ @ rhs` without materializing the transpose.
@@ -90,22 +187,12 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
         // out[i][j] = sum_p a[p][i] * b[p][j]
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
+        if let Some((rt, chunk)) = parallel_plan(m, k, n) {
+            let blocks = rt.par_chunks(m, chunk, |rows| matmul_tn_rows(a, b, rows, k, m, n));
+            return Ok(concat_blocks(blocks, m, n));
         }
-        Ok(Tensor::from_vec(out, &[m, n]))
+        Ok(Tensor::from_vec(matmul_tn_rows(a, b, 0..m, k, m, n), &[m, n]))
     }
 
     /// `self @ rhsᵀ` without materializing the transpose.
@@ -140,20 +227,11 @@ impl Tensor {
         }
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *o = acc;
-            }
+        if let Some((rt, chunk)) = parallel_plan(m, k, n) {
+            let blocks = rt.par_chunks(m, chunk, |rows| matmul_nt_rows(a, b, rows, k, n));
+            return Ok(concat_blocks(blocks, m, n));
         }
-        Ok(Tensor::from_vec(out, &[m, n]))
+        Ok(Tensor::from_vec(matmul_nt_rows(a, b, 0..m, k, n), &[m, n]))
     }
 
     /// Inner (dot) product of two 1-D tensors.
@@ -252,6 +330,28 @@ mod tests {
         let a = Tensor::arange(6).reshape(&[2, 3]);
         let b = Tensor::arange(12).reshape(&[4, 3]);
         assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial_bitwise() {
+        use rand::{rngs::StdRng, SeedableRng};
+        // Large enough to cross PAR_WORK_THRESHOLD (96*180*150 ≈ 2.6M).
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::rand_uniform(&mut rng, &[96, 180], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[180, 150], -1.0, 1.0);
+        let products = |aa: &Tensor, bb: &Tensor| {
+            (aa.matmul(bb), aa.transpose().matmul_tn(bb), aa.matmul_nt(&bb.transpose()))
+        };
+        simpadv_runtime::set_global_threads(1);
+        let serial = products(&a, &b);
+        for threads in [2, 4] {
+            simpadv_runtime::set_global_threads(threads);
+            let par = products(&a, &b);
+            assert_eq!(par.0, serial.0, "matmul, threads={threads}");
+            assert_eq!(par.1, serial.1, "matmul_tn, threads={threads}");
+            assert_eq!(par.2, serial.2, "matmul_nt, threads={threads}");
+        }
+        simpadv_runtime::set_global_threads(1);
     }
 
     #[test]

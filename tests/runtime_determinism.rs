@@ -1,0 +1,69 @@
+//! Cross-crate determinism: the worker thread count must never change a
+//! single bit of any result. This exercises the full stack — parallel
+//! tensor kernels, chunked attack crafting, the Proposed trainer's
+//! persistent-example advance, and the evaluation battery — at 1 and 4
+//! threads and demands bitwise equality (invariant R5 extended by the
+//! runtime's determinism contract).
+
+use simpadv::train::{ProposedTrainer, Trainer};
+use simpadv::{EvalSuite, ModelSpec, TrainConfig};
+use simpadv_attacks::parallel::craft_parallel;
+use simpadv_attacks::{Bim, Pgd};
+use simpadv_data::{SynthConfig, SynthDataset};
+use simpadv_runtime::{set_global_threads, split_seed, Runtime};
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Trains the Proposed defense and runs the Table I battery with the
+/// process-global runtime pinned to `threads`.
+fn train_and_eval(threads: usize) -> (Vec<f32>, Vec<f32>) {
+    set_global_threads(threads);
+    let train = SynthDataset::Mnist.generate(&SynthConfig::new(120, 1));
+    let test = SynthDataset::Mnist.generate(&SynthConfig::new(80, 2));
+    let mut clf = ModelSpec::small_mlp().build(0);
+    let report =
+        ProposedTrainer::paper_defaults(0.3).train(&mut clf, &train, &TrainConfig::new(4, 7));
+    let result = EvalSuite::paper(0.3).run(&mut clf, &test);
+    (report.epoch_losses, result.accuracies)
+}
+
+// Everything observing the global thread count lives in this one test:
+// the test binary would otherwise race its own `set_global_threads`
+// calls across test threads.
+#[test]
+fn thread_count_never_changes_results() {
+    // Training loss curves and evaluation accuracies, threads = 1 vs 4.
+    let (loss_serial, acc_serial) = train_and_eval(1);
+    let (loss_parallel, acc_parallel) = train_and_eval(4);
+    assert_eq!(loss_serial.len(), 4);
+    assert_eq!(acc_serial.len(), 4); // original, fgsm, bim(10), bim(30)
+    assert_eq!(bits(&loss_serial), bits(&loss_parallel), "loss curves diverged");
+    assert_eq!(bits(&acc_serial), bits(&acc_parallel), "eval accuracies diverged");
+
+    // Crafted adversarial batches with explicit runtimes, deterministic
+    // and seeded-stochastic attacks alike.
+    let data = SynthDataset::Fashion.generate(&SynthConfig::new(50, 3));
+    let model = ModelSpec::small_mlp().build(1);
+    let x = data.images().clone();
+    let y = data.labels().to_vec();
+    let craft = |threads: usize| {
+        let rt = Runtime::new(threads);
+        let bim = craft_parallel(&rt, &model, &|_| Box::new(Bim::new(0.2, 5)), &x, &y);
+        let pgd = craft_parallel(
+            &rt,
+            &model,
+            &|first| Box::new(Pgd::new(0.2, 3, split_seed(2019, first as u64))),
+            &x,
+            &y,
+        );
+        (bim, pgd)
+    };
+    let (bim_serial, pgd_serial) = craft(1);
+    let (bim_parallel, pgd_parallel) = craft(4);
+    assert_eq!(bim_serial, bim_parallel, "BIM batches diverged");
+    assert_eq!(pgd_serial, pgd_parallel, "seeded PGD batches diverged");
+
+    set_global_threads(1);
+}
