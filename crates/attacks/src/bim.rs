@@ -80,10 +80,21 @@ impl Bim {
 
 impl Attack for Bim {
     fn perturb(&mut self, model: &mut dyn GradientModel, x: &Tensor, y: &[usize]) -> Tensor {
+        let span =
+            simpadv_trace::span!("bim", iterations = self.iterations, epsilon = self.epsilon);
+        let traced = simpadv_trace::enabled() && !simpadv_trace::events_suppressed();
         let mut cur = x.clone();
-        for _ in 0..self.iterations {
+        for i in 0..self.iterations {
             cur = signed_step(model, &cur, x, y, self.step, self.epsilon);
+            if traced {
+                simpadv_trace::gauge_with(
+                    "iterate_linf",
+                    f64::from(crate::projection::linf_distance(&cur, x)),
+                    &[("iteration", simpadv_trace::FieldValue::from(i))],
+                );
+            }
         }
+        drop(span);
         cur
     }
 

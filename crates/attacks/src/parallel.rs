@@ -84,6 +84,8 @@ where
     if y.is_empty() {
         return x.clone();
     }
+    let _span =
+        simpadv_trace::span!("craft", batch = y.len(), chunks = y.len().div_ceil(CRAFT_CHUNK));
     let parts = rt.par_chunks(y.len(), CRAFT_CHUNK, |r| {
         let mut replica = model.clone();
         let mut attack = make_attack(r.start);
@@ -123,6 +125,11 @@ where
     if y.is_empty() {
         return x.clone();
     }
+    let _span = simpadv_trace::span!(
+        "signed_step",
+        batch = y.len(),
+        chunks = y.len().div_ceil(CRAFT_CHUNK)
+    );
     let parts = rt.par_chunks(y.len(), CRAFT_CHUNK, |r| {
         let mut replica = model.clone();
         signed_step(&mut replica, &x.rows(r.clone()), &origin.rows(r.clone()), &y[r], step, eps)

@@ -58,11 +58,22 @@ impl Pgd {
 
 impl Attack for Pgd {
     fn perturb(&mut self, model: &mut dyn GradientModel, x: &Tensor, y: &[usize]) -> Tensor {
+        let span =
+            simpadv_trace::span!("pgd", iterations = self.iterations, epsilon = self.epsilon);
+        let traced = simpadv_trace::enabled() && !simpadv_trace::events_suppressed();
         let noise = Tensor::rand_uniform(&mut self.rng, x.shape(), -self.epsilon, self.epsilon);
         let mut cur = project_ball(&x.add(&noise), x, self.epsilon);
-        for _ in 0..self.iterations {
+        for i in 0..self.iterations {
             cur = signed_step(model, &cur, x, y, self.step, self.epsilon);
+            if traced {
+                simpadv_trace::gauge_with(
+                    "iterate_linf",
+                    f64::from(crate::projection::linf_distance(&cur, x)),
+                    &[("iteration", simpadv_trace::FieldValue::from(i))],
+                );
+            }
         }
+        drop(span);
         cur
     }
 

@@ -51,6 +51,7 @@ pub fn signed_step(
     eps: f32,
 ) -> Tensor {
     assert!(step >= 0.0, "step must be non-negative");
+    simpadv_trace::clock::tick_attack_steps(1);
     let (_, grad) = model.loss_and_input_grad(x, y);
     let stepped = x.add(&grad.sign().mul_scalar(step));
     project_ball(&stepped, origin, eps)

@@ -3,13 +3,14 @@
 //! DESIGN.md lists beyond the paper's own exhibits.
 
 use simpadv::experiments::ablation;
-use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
+use simpadv_bench::{write_artifact, BenchOpts};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, threads) = scale_from_args(&args);
-    apply_threads(threads);
+    let opts = BenchOpts::from_args(&args);
+    opts.apply();
+    let scale = opts.scale;
     eprintln!("ablation at scale {scale:?}");
     let result = ablation::run(SynthDataset::Mnist, &scale);
     println!("{result}");
@@ -17,4 +18,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),
     }
+    opts.finish();
 }

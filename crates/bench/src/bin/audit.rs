@@ -4,13 +4,14 @@
 
 use simpadv::train::{ProposedTrainer, Trainer, VanillaTrainer};
 use simpadv::{audit_masking, ModelSpec};
-use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
+use simpadv_bench::{write_artifact, BenchOpts};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, threads) = scale_from_args(&args);
-    apply_threads(threads);
+    let opts = BenchOpts::from_args(&args);
+    opts.apply();
+    let scale = opts.scale;
     let dataset = SynthDataset::Mnist;
     let (train, test) = scale.load(dataset);
     let eps = dataset.paper_epsilon();
@@ -32,4 +33,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),
     }
+    opts.finish();
 }

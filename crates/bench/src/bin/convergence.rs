@@ -2,13 +2,14 @@
 //! training epochs for FGSM-Adv, the proposed method and BIM(10)-Adv.
 
 use simpadv::experiments::convergence;
-use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
+use simpadv_bench::{write_artifact, BenchOpts};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, threads) = scale_from_args(&args);
-    apply_threads(threads);
+    let opts = BenchOpts::from_args(&args);
+    opts.apply();
+    let scale = opts.scale;
     // epoch grid scaled to the configured budget
     let max = scale.epochs;
     let grid: Vec<usize> = [1, 2, 4, 8].iter().map(|f| (max * f / 8).max(1)).collect();
@@ -21,4 +22,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),
     }
+    opts.finish();
 }

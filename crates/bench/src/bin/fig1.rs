@@ -2,13 +2,14 @@
 //! four probe classifiers on both synthetic datasets.
 
 use simpadv::experiments::fig1;
-use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
+use simpadv_bench::{write_artifact, BenchOpts};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, threads) = scale_from_args(&args);
-    apply_threads(threads);
+    let opts = BenchOpts::from_args(&args);
+    opts.apply();
+    let scale = opts.scale;
     eprintln!("figure 1 at scale {scale:?}");
     let mut artifacts = Vec::new();
     for dataset in [SynthDataset::Mnist, SynthDataset::Fashion] {
@@ -22,4 +23,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),
     }
+    opts.finish();
 }

@@ -9,7 +9,7 @@ use simpadv::train::{ProposedTrainer, Trainer};
 use simpadv::{ModelSpec, TrainConfig};
 use simpadv_attacks::parallel::craft_parallel;
 use simpadv_attacks::Bim;
-use simpadv_bench::{scale_from_args, write_artifact};
+use simpadv_bench::{write_artifact, BenchOpts};
 use simpadv_data::SynthDataset;
 use simpadv_nn::Classifier;
 use simpadv_runtime::{available_threads, set_global_threads, Runtime};
@@ -74,7 +74,10 @@ fn time_matmul() -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, threads_override) = scale_from_args(&args);
+    let opts = BenchOpts::from_args(&args);
+    opts.apply(); // thread count is re-set per measured point below
+    let scale = opts.scale;
+    let threads_override = opts.threads;
     eprintln!("runtime scaling at scale {scale:?}");
 
     let (train, test) = scale.load(SynthDataset::Mnist);
@@ -139,4 +142,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("artifact write failed: {e}"),
     }
+    opts.finish();
 }

@@ -2,13 +2,14 @@
 //! for Vanilla / FGSM-Adv / Proposed / BIM(10)-Adv.
 
 use simpadv::experiments::security_curve;
-use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
+use simpadv_bench::{write_artifact, BenchOpts};
 use simpadv_data::SynthDataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, threads) = scale_from_args(&args);
-    apply_threads(threads);
+    let opts = BenchOpts::from_args(&args);
+    opts.apply();
+    let scale = opts.scale;
     eprintln!("security curves at scale {scale:?}");
     let result = security_curve::run(SynthDataset::Mnist, &scale);
     println!("{result}");
@@ -18,4 +19,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),
     }
+    opts.finish();
 }

@@ -3,12 +3,13 @@
 //! training cost per epoch.
 
 use simpadv::experiments::table1;
-use simpadv_bench::{apply_threads, scale_from_args, write_artifact};
+use simpadv_bench::{write_artifact, BenchOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, threads) = scale_from_args(&args);
-    apply_threads(threads);
+    let opts = BenchOpts::from_args(&args);
+    opts.apply();
+    let scale = opts.scale;
     eprintln!("table 1 at scale {scale:?}");
     let result = table1::run(&scale);
     println!("{result}");
@@ -16,4 +17,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),
     }
+    opts.finish();
 }

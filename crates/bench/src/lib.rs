@@ -6,51 +6,107 @@
 //!   `cargo run --release -p simpadv-bench --bin fig1` (and `fig2`,
 //!   `table1`). Each prints the paper-shaped series/rows and writes a JSON
 //!   artifact next to the repository's `results/` directory. Pass `--full`
-//!   for the larger workload and `--smoke` for a seconds-scale sanity run.
+//!   for the larger workload, `--smoke` for a seconds-scale sanity run,
+//!   and `--trace FILE` to capture a structured event trace of the run
+//!   (summarize it with `simpadv-cli trace summarize FILE`).
 //! * **Criterion benches** — `cargo bench -p simpadv-bench` measures the
 //!   substrate (tensor/layer throughput), attack generation cost, and the
 //!   per-epoch training cost of every method (the micro version of
 //!   Table I's time column).
 
 use simpadv::experiments::ExperimentScale;
+use simpadv_trace::TraceFormat;
 
-/// Parses the common CLI of the regeneration binaries.
-///
-/// Recognized flags: `--full`, `--smoke`, `--quick` (default: quick) and
-/// `--threads N` (returned for [`apply_threads`]). Unknown flags or a
-/// missing/invalid `--threads` value abort with a usage message.
-#[expect(clippy::exit, reason = "CLI usage-error abort in the regeneration binaries")]
-pub fn scale_from_args(args: &[String]) -> (ExperimentScale, Option<usize>) {
-    let mut scale = ExperimentScale::quick();
-    let mut threads = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--full" => scale = ExperimentScale::full(),
-            "--smoke" => scale = ExperimentScale::smoke(),
-            "--quick" => scale = ExperimentScale::quick(),
-            "--threads" => match it.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(n)) if n > 0 => threads = Some(n),
-                _ => {
-                    eprintln!("--threads needs a positive integer value");
+/// The common CLI of the regeneration binaries: workload scale, thread
+/// override, and trace destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchOpts {
+    /// Experiment workload (`--smoke` / `--quick` / `--full`).
+    pub scale: ExperimentScale,
+    /// `--threads N` override; `None` keeps the runtime default
+    /// (`SIMPADV_THREADS`, else all cores). Results are bitwise identical
+    /// either way — the flag only changes wall-clock.
+    pub threads: Option<usize>,
+    /// `--trace FILE` destination for the run's event trace.
+    pub trace: Option<std::path::PathBuf>,
+    /// `--trace-format jsonl|pretty` (default jsonl).
+    pub trace_format: TraceFormat,
+}
+
+impl BenchOpts {
+    /// Parses the shared flags of the regeneration binaries.
+    ///
+    /// Recognized: `--full`, `--smoke`, `--quick` (default: quick),
+    /// `--threads N`, `--trace FILE` and `--trace-format jsonl|pretty`.
+    /// Unknown flags or missing/invalid values abort with a usage
+    /// message.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut opts = BenchOpts {
+            scale: ExperimentScale::quick(),
+            threads: None,
+            trace: None,
+            trace_format: TraceFormat::Jsonl,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => opts.scale = ExperimentScale::full(),
+                "--smoke" => opts.scale = ExperimentScale::smoke(),
+                "--quick" => opts.scale = ExperimentScale::quick(),
+                "--threads" => match it.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n > 0 => opts.threads = Some(n),
+                    _ => {
+                        eprintln!("--threads needs a positive integer value");
+                        std::process::exit(2);
+                    }
+                },
+                "--trace" => match it.next() {
+                    Some(path) => opts.trace = Some(std::path::PathBuf::from(path)),
+                    None => {
+                        eprintln!("--trace needs a file path value");
+                        std::process::exit(2);
+                    }
+                },
+                "--trace-format" => match it.next().and_then(|v| TraceFormat::parse(v)) {
+                    Some(f) => opts.trace_format = f,
+                    None => {
+                        eprintln!("--trace-format needs jsonl or pretty");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!(
+                        "unknown flag {other}; use --smoke | --quick | --full | --threads N \
+                         | --trace FILE | --trace-format jsonl|pretty"
+                    );
                     std::process::exit(2);
                 }
-            },
-            other => {
-                eprintln!("unknown flag {other}; use --smoke | --quick | --full | --threads N");
+            }
+        }
+        opts
+    }
+
+    /// Applies the options to the process: sets the global thread count
+    /// (when overridden) and installs the trace sink (when requested).
+    /// Pair with [`BenchOpts::finish`] before exiting.
+    pub fn apply(&self) {
+        if let Some(n) = self.threads {
+            simpadv_runtime::set_global_threads(n);
+        }
+        if let Some(path) = &self.trace {
+            if let Err(e) = simpadv_trace::install_file(path, self.trace_format) {
+                eprintln!("cannot open trace file {}: {e}", path.display());
                 std::process::exit(2);
             }
         }
     }
-    (scale, threads)
-}
 
-/// Applies a parsed `--threads` override to the process-global runtime;
-/// `None` keeps the default (`SIMPADV_THREADS`, else all cores). Results
-/// are bitwise identical either way — the flag only changes wall-clock.
-pub fn apply_threads(threads: Option<usize>) {
-    if let Some(n) = threads {
-        simpadv_runtime::set_global_threads(n);
+    /// Flushes and removes the trace sink installed by
+    /// [`BenchOpts::apply`]; a no-op when `--trace` was not given.
+    pub fn finish(&self) {
+        if self.trace.is_some() {
+            simpadv_trace::uninstall();
+        }
     }
 }
 
@@ -81,34 +137,47 @@ mod tests {
 
     #[test]
     fn default_scale_is_quick() {
-        let (s, threads) = scale_from_args(&[]);
-        assert_eq!(s.train_samples, ExperimentScale::quick().train_samples);
-        assert_eq!(threads, None);
+        let opts = BenchOpts::from_args(&[]);
+        assert_eq!(opts.scale.train_samples, ExperimentScale::quick().train_samples);
+        assert_eq!(opts.threads, None);
+        assert_eq!(opts.trace, None);
+        assert_eq!(opts.trace_format, TraceFormat::Jsonl);
     }
 
     #[test]
     fn full_flag_selects_full() {
-        let (s, _) = scale_from_args(&argv("--full"));
-        assert_eq!(s.train_samples, ExperimentScale::full().train_samples);
+        let opts = BenchOpts::from_args(&argv("--full"));
+        assert_eq!(opts.scale.train_samples, ExperimentScale::full().train_samples);
     }
 
     #[test]
     fn smoke_flag_selects_smoke() {
-        let (s, _) = scale_from_args(&argv("--smoke"));
-        assert_eq!(s.train_samples, ExperimentScale::smoke().train_samples);
+        let opts = BenchOpts::from_args(&argv("--smoke"));
+        assert_eq!(opts.scale.train_samples, ExperimentScale::smoke().train_samples);
     }
 
     #[test]
     fn threads_flag_is_parsed_alongside_scale() {
-        let (s, threads) = scale_from_args(&argv("--smoke --threads 4"));
-        assert_eq!(s.train_samples, ExperimentScale::smoke().train_samples);
-        assert_eq!(threads, Some(4));
-        let (_, threads) = scale_from_args(&argv("--threads 2 --full"));
-        assert_eq!(threads, Some(2));
+        let opts = BenchOpts::from_args(&argv("--smoke --threads 4"));
+        assert_eq!(opts.scale.train_samples, ExperimentScale::smoke().train_samples);
+        assert_eq!(opts.threads, Some(4));
+        let opts = BenchOpts::from_args(&argv("--threads 2 --full"));
+        assert_eq!(opts.threads, Some(2));
     }
 
     #[test]
-    fn apply_threads_none_is_a_no_op() {
-        apply_threads(None);
+    fn trace_flags_are_parsed() {
+        let opts = BenchOpts::from_args(&argv("--trace out.jsonl --trace-format pretty"));
+        assert_eq!(opts.trace.as_deref(), Some(std::path::Path::new("out.jsonl")));
+        assert_eq!(opts.trace_format, TraceFormat::Pretty);
+        // finish without apply (or without --trace at all) is a no-op
+        BenchOpts::from_args(&[]).finish();
+    }
+
+    #[test]
+    fn apply_without_overrides_is_a_no_op() {
+        let opts = BenchOpts::from_args(&[]);
+        opts.apply();
+        opts.finish();
     }
 }

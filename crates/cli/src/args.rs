@@ -16,16 +16,21 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, its positional arguments, and
+/// `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    positionals: Vec<String>,
     options: BTreeMap<String, String>,
 }
 
 impl Args {
     /// Parses `argv` (without the program name).
+    ///
+    /// Positional arguments (e.g. `trace summarize FILE`) must come
+    /// directly after the subcommand, before any `--option`.
     ///
     /// # Errors
     ///
@@ -37,9 +42,14 @@ impl Args {
         if command.starts_with("--") {
             return Err(ParseError(format!("expected a subcommand, got option {command}")));
         }
+        let mut positionals = Vec::new();
         let mut options = BTreeMap::new();
         while let Some(key) = it.next() {
             let Some(stripped) = key.strip_prefix("--") else {
+                if options.is_empty() {
+                    positionals.push(key);
+                    continue;
+                }
                 return Err(ParseError(format!("unexpected positional argument {key}")));
             };
             let value = it
@@ -47,7 +57,32 @@ impl Args {
                 .ok_or_else(|| ParseError(format!("option --{stripped} is missing a value")))?;
             options.insert(stripped.to_string(), value);
         }
-        Ok(Args { command, options })
+        Ok(Args { command, positionals, options })
+    }
+
+    /// The positional arguments after the subcommand.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The `i`-th positional argument, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Rejects any positional arguments — for subcommands that take none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] naming the first stray positional.
+    pub fn expect_no_positionals(&self) -> Result<(), ParseError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(p) => Err(ParseError(format!(
+                "unexpected positional argument {p} for '{}'",
+                self.command
+            ))),
+        }
     }
 
     /// A string option, or `default` when absent.
@@ -129,8 +164,23 @@ mod tests {
     }
 
     #[test]
-    fn stray_positional_is_an_error() {
-        assert!(Args::parse(argv("train mnist")).is_err());
+    fn positionals_parse_before_options_only() {
+        let a = Args::parse(argv("trace summarize out.jsonl --threads 2")).unwrap();
+        assert_eq!(a.command, "trace");
+        assert_eq!(a.positionals(), ["summarize", "out.jsonl"]);
+        assert_eq!(a.positional(0), Some("summarize"));
+        assert_eq!(a.positional(2), None);
+        assert!(a.expect_no_positionals().is_err());
+        // a positional after an option is still an error
+        assert!(Args::parse(argv("trace --threads 2 summarize")).is_err());
+    }
+
+    #[test]
+    fn commands_can_reject_positionals() {
+        let a = Args::parse(argv("train mnist")).unwrap();
+        assert!(a.expect_no_positionals().is_err());
+        let b = Args::parse(argv("train --dataset mnist")).unwrap();
+        assert!(b.expect_no_positionals().is_ok());
     }
 
     #[test]

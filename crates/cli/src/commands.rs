@@ -58,12 +58,18 @@ COMMANDS
   evaluate  --model FILE --dataset mnist|fashion [--samples N] [--seed S]
   attack    --model FILE --dataset mnist|fashion [--attack A] [--index I]
             attacks: noise fgsm llfgsm bim10 bim30 pgd10 mim10 fgml2 pgdl2
+  trace summarize FILE
+            fold a JSONL trace into per-span aggregate timings
   help
 
 GLOBAL OPTIONS
   --threads N  worker threads for training/evaluation (default: the
                SIMPADV_THREADS environment variable, else all cores);
                results are bitwise identical for any N
+  --trace FILE          write a structured event trace of the run
+  --trace-format F      jsonl (default) or pretty; the SIMPADV_TRACE /
+                        SIMPADV_TRACE_FORMAT environment variables are
+                        the equivalent ambient switches
 ";
 
 /// Dispatches a parsed command line, writing human output to `out`.
@@ -73,17 +79,24 @@ GLOBAL OPTIONS
 /// Returns [`CliError`] on unknown commands, bad options or I/O failures.
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     apply_threads(args)?;
-    match args.command.as_str() {
+    if args.command != "trace" {
+        args.expect_no_positionals()?;
+    }
+    let tracing = apply_trace(args)?;
+    let result = match args.command.as_str() {
         "generate" => cmd_generate(args, out),
         "train" => cmd_train(args, out),
         "evaluate" => cmd_evaluate(args, out),
         "attack" => cmd_attack(args, out),
-        "help" => {
-            writeln!(out, "{USAGE}")?;
-            Ok(())
-        }
+        "trace" => cmd_trace(args, out),
+        "help" => writeln!(out, "{USAGE}").map_err(CliError::from),
         other => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
+    };
+    if tracing {
+        // flush the trace even when the command failed
+        simpadv_trace::uninstall();
     }
+    result
 }
 
 /// Applies the global `--threads` option: sets the process-wide worker
@@ -96,6 +109,21 @@ fn apply_threads(args: &Args) -> Result<(), CliError> {
         simpadv_runtime::try_set_global_threads(n).map_err(|e| CliError(e.to_string()))?;
     }
     Ok(())
+}
+
+/// Applies the global `--trace` / `--trace-format` options: installs a
+/// file sink for the duration of the dispatched command. Returns whether
+/// a sink was installed (so [`run`] knows to flush and remove it).
+fn apply_trace(args: &Args) -> Result<bool, CliError> {
+    let Ok(path) = args.require("trace") else {
+        return Ok(false);
+    };
+    let name = args.get_or("trace-format", "jsonl");
+    let format = simpadv_trace::TraceFormat::parse(name)
+        .ok_or_else(|| CliError(format!("unknown trace format '{name}' (jsonl|pretty)")))?;
+    simpadv_trace::install_file(std::path::Path::new(path), format)
+        .map_err(|e| CliError(format!("cannot open trace file {path}: {e}")))?;
+    Ok(true)
 }
 
 fn parse_dataset(args: &Args) -> Result<SynthDataset, CliError> {
@@ -135,7 +163,15 @@ fn parse_attack(name: &str, eps: f32, seed: u64) -> Result<Box<dyn Attack>, CliE
 }
 
 fn cmd_generate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["dataset", "samples", "seed", "preview", "threads"])?;
+    args.expect_only(&[
+        "dataset",
+        "samples",
+        "seed",
+        "preview",
+        "threads",
+        "trace",
+        "trace-format",
+    ])?;
     let dataset = parse_dataset(args)?;
     let samples = args.get_num("samples", 100usize)?;
     let seed = args.get_num("seed", 1u64)?;
@@ -157,7 +193,18 @@ fn cmd_generate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 }
 
 fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["dataset", "method", "epochs", "samples", "seed", "out", "lr", "threads"])?;
+    args.expect_only(&[
+        "dataset",
+        "method",
+        "epochs",
+        "samples",
+        "seed",
+        "out",
+        "lr",
+        "threads",
+        "trace",
+        "trace-format",
+    ])?;
     let dataset = parse_dataset(args)?;
     let eps = dataset.paper_epsilon();
     let method = args.get_or("method", "proposed").to_string();
@@ -189,7 +236,7 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 }
 
 fn cmd_evaluate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["model", "dataset", "samples", "seed", "threads"])?;
+    args.expect_only(&["model", "dataset", "samples", "seed", "threads", "trace", "trace-format"])?;
     let dataset = parse_dataset(args)?;
     let saved = SavedModel::load(File::open(args.require("model")?)?)?;
     let mut clf = saved.restore();
@@ -210,7 +257,16 @@ fn cmd_evaluate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 }
 
 fn cmd_attack<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["model", "dataset", "attack", "index", "seed", "threads"])?;
+    args.expect_only(&[
+        "model",
+        "dataset",
+        "attack",
+        "index",
+        "seed",
+        "threads",
+        "trace",
+        "trace-format",
+    ])?;
     let dataset = parse_dataset(args)?;
     let saved = SavedModel::load(File::open(args.require("model")?)?)?;
     let mut clf = saved.restore();
@@ -235,6 +291,28 @@ fn cmd_attack<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     )?;
     writeln!(out, "{}", ascii_image(&adv.row(0)))?;
     Ok(())
+}
+
+fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["threads", "trace", "trace-format"])?;
+    match args.positional(0) {
+        Some("summarize") => {
+            let path = args
+                .positional(1)
+                .ok_or_else(|| CliError("trace summarize needs a FILE argument".into()))?;
+            if args.positional(2).is_some() {
+                return Err(CliError("trace summarize takes exactly one FILE".into()));
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read trace file {path}: {e}")))?;
+            let summary =
+                simpadv_trace::Summary::from_jsonl(&text).map_err(|e| CliError(e.to_string()))?;
+            write!(out, "{}", summary.render())?;
+            Ok(())
+        }
+        Some(other) => Err(CliError(format!("unknown trace action '{other}' (summarize)"))),
+        None => Err(CliError("usage: trace summarize FILE".into())),
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +394,50 @@ mod tests {
         assert!(USAGE.contains("--threads"));
         // leave the process-wide default as other tests expect it
         simpadv_runtime::set_global_threads(1);
+    }
+
+    #[test]
+    fn trace_option_writes_a_summarizable_trace() {
+        // the only CLI test that installs a trace sink: the tracer is
+        // process-global, so concurrently running tests may interleave
+        // events into this trace — assert only on robust properties
+        let dir = std::env::temp_dir().join("simpadv-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("out.jsonl");
+        let trace = trace.to_str().unwrap();
+
+        let text = run_line(&format!(
+            "train --dataset mnist --method proposed --epochs 2 --samples 48 --trace {trace}"
+        ))
+        .unwrap();
+        assert!(text.contains("training proposed"));
+
+        let text = run_line(&format!("trace summarize {trace}")).unwrap();
+        assert!(text.contains("events"));
+        assert!(text.contains("epoch"), "summary should show the epoch span:\n{text}");
+    }
+
+    #[test]
+    fn trace_command_rejects_bad_invocations() {
+        assert!(run_line("trace summarize /nonexistent/trace.jsonl").is_err());
+        assert!(run_line("trace summarize").is_err());
+        assert!(run_line("trace frobnicate x.jsonl").is_err());
+        assert!(run_line("trace summarize a.jsonl b.jsonl").is_err());
+        // a bad format is rejected before any sink is installed
+        let path = std::env::temp_dir().join("simpadv-cli-trace-badfmt.jsonl");
+        let err = run_line(&format!(
+            "generate --dataset mnist --samples 4 --trace {} --trace-format nope",
+            path.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown trace format"));
+        // --trace-format without --trace is inert
+        assert!(run_line("generate --dataset mnist --samples 4 --trace-format nope").is_ok());
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected_per_command() {
+        assert!(run_line("generate mnist --dataset mnist --samples 4").is_err());
     }
 
     #[test]

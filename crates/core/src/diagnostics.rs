@@ -64,12 +64,18 @@ impl fmt::Display for MaskingReport {
 ///
 /// `epsilon` is the budget the model claims robustness at; `seed` feeds
 /// the stochastic baselines.
+///
+/// The audit runs under an `audit` trace span and emits one `check`
+/// counter event per outcome (fields: `name`, `passed`, `evidence`), so
+/// audit results land in the same trace file as the training run they
+/// vet.
 pub fn audit_masking(
     clf: &mut Classifier,
     data: &Dataset,
     epsilon: f32,
     seed: u64,
 ) -> MaskingReport {
+    let _span = simpadv_trace::span!("audit", epsilon = epsilon, seed = seed);
     let mut checks = Vec::new();
 
     let acc = |clf: &mut Classifier, attack: &mut dyn Attack| evaluate_accuracy(clf, data, attack);
@@ -116,6 +122,20 @@ pub fn audit_masking(
         evidence: format!("acc at eps 0.95: {:.3}", a_huge),
         passed: a_huge < 0.2,
     });
+
+    // Audit event stream: one `check` counter per outcome, in checklist
+    // order, so audit results land in the same trace as training runs.
+    for c in &checks {
+        simpadv_trace::counter_with(
+            "check",
+            1,
+            &[
+                ("name", simpadv_trace::FieldValue::from(c.name.as_str())),
+                ("passed", simpadv_trace::FieldValue::from(c.passed)),
+                ("evidence", simpadv_trace::FieldValue::from(c.evidence.as_str())),
+            ],
+        );
+    }
 
     MaskingReport { checks }
 }

@@ -9,6 +9,9 @@
 //! forward/backward passes spent on replicas are credited back to the
 //! caller's classifier so Table I cost accounting stays thread-count
 //! independent.
+//!
+//! Every evaluation entry point runs under an `eval` trace span naming
+//! the attack, and emits the resulting accuracy as an `accuracy` gauge.
 
 use serde::{Deserialize, Serialize};
 use simpadv_attacks::{Attack, Bim, Fgsm};
@@ -28,6 +31,7 @@ pub(crate) const EVAL_BATCH: usize = 100;
 /// forward passes are credited back to `clf` (one per batch, exactly
 /// what the serial loop would have counted).
 pub fn evaluate_clean(clf: &mut Classifier, data: &Dataset) -> f32 {
+    let _span = simpadv_trace::span!("eval", attack = "original", examples = data.len());
     let shared: &Classifier = clf;
     let counts = Runtime::global().par_chunks(data.len(), EVAL_BATCH, |r| {
         let mut replica = shared.clone();
@@ -37,7 +41,9 @@ pub fn evaluate_clean(clf: &mut Classifier, data: &Dataset) -> f32 {
     });
     let batches = counts.len() as u64;
     clf.credit_external_passes(batches, 0);
-    counts.into_iter().sum::<usize>() as f32 / data.len().max(1) as f32
+    let acc = counts.into_iter().sum::<usize>() as f32 / data.len().max(1) as f32;
+    simpadv_trace::gauge("accuracy", f64::from(acc));
+    acc
 }
 
 /// White-box accuracy of a classifier under an attack: adversarial
@@ -47,13 +53,16 @@ pub fn evaluate_clean(clf: &mut Classifier, data: &Dataset) -> f32 {
 /// therefore runs serially; prefer [`evaluate_accuracy_parallel`] when
 /// the attack can be constructed per batch.
 pub fn evaluate_accuracy(clf: &mut Classifier, data: &Dataset, attack: &mut dyn Attack) -> f32 {
+    let _span = simpadv_trace::span!("eval", attack = attack.id(), examples = data.len());
     let mut correct = 0usize;
     for (_, x, y) in data.batches_sequential(EVAL_BATCH) {
         let adv = attack.perturb(clf, &x, &y);
         let logits = clf.logits(&adv);
         correct += (accuracy(&logits, &y) * y.len() as f32).round() as usize;
     }
-    correct as f32 / data.len().max(1) as f32
+    let acc = correct as f32 / data.len().max(1) as f32;
+    simpadv_trace::gauge("accuracy", f64::from(acc));
+    acc
 }
 
 /// White-box accuracy under a per-batch constructed attack, with the
@@ -71,6 +80,7 @@ pub fn evaluate_accuracy_parallel(
     data: &Dataset,
     make_attack: &(dyn Fn(usize) -> Box<dyn Attack> + Sync),
 ) -> f32 {
+    let _span = simpadv_trace::span!("eval", attack = make_attack(0).id(), examples = data.len());
     let shared: &Classifier = clf;
     let per_batch = Runtime::global().par_chunks(data.len(), EVAL_BATCH, |r| {
         let mut replica = shared.clone();
@@ -90,7 +100,9 @@ pub fn evaluate_accuracy_parallel(
         bwd += b;
     }
     clf.credit_external_passes(fwd, bwd);
-    correct as f32 / data.len().max(1) as f32
+    let acc = correct as f32 / data.len().max(1) as f32;
+    simpadv_trace::gauge("accuracy", f64::from(acc));
+    acc
 }
 
 /// One row of an evaluation table: the classifier's accuracy on every

@@ -55,6 +55,11 @@ pub fn class_breakdown(
     let classes = data.num_classes();
     let mut matrix = ConfusionMatrix::new(classes);
     let mut attack = attack;
+    let _span = simpadv_trace::span!(
+        "eval_detail",
+        attack = attack.as_deref().map_or_else(|| "clean".to_string(), |a| a.id()),
+        examples = data.len()
+    );
     for (_, x, y) in data.batches_sequential(EVAL_BATCH) {
         let inputs = match attack.as_deref_mut() {
             Some(a) => a.perturb(clf, &x, &y),
@@ -66,10 +71,12 @@ pub fn class_breakdown(
         }
     }
     let recall = (0..classes).map(|c| matrix.recall(c)).collect();
+    let overall = matrix.accuracy();
+    simpadv_trace::gauge("accuracy", f64::from(overall));
     ClassBreakdown {
         attack: attack.map_or_else(|| "clean".to_string(), |a| a.id()),
         recall,
-        overall: matrix.accuracy(),
+        overall,
     }
 }
 

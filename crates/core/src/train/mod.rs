@@ -19,7 +19,6 @@ use crate::config::TrainConfig;
 use crate::report::TrainReport;
 use simpadv_data::Dataset;
 use simpadv_nn::{Classifier, Optimizer, Sgd};
-use std::time::Instant;
 
 /// An adversarial-training method.
 ///
@@ -41,6 +40,11 @@ pub trait Trainer {
 ///
 /// `step(clf, opt, epoch, indices, images, labels)` performs whatever the
 /// method does with one batch and returns the batch loss it optimized.
+///
+/// Tracing: the whole run sits in a `train` span and every epoch in a
+/// nested `epoch` span whose [`simpadv_trace::SpanTiming`] is what lands
+/// in the report — so `TrainReport::epoch_seconds` comes from the span's
+/// monotonic clock and `TrainReport::epoch_work` from its logical clock.
 pub(crate) fn run_epochs<F>(
     trainer_id: &str,
     clf: &mut Classifier,
@@ -61,6 +65,13 @@ where
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    let _train_span = simpadv_trace::span!(
+        "train",
+        trainer = trainer_id,
+        epochs = config.epochs,
+        batch_size = config.batch_size,
+        seed = config.seed
+    );
     let mut report = TrainReport::new(trainer_id);
     let mut opt = Sgd::new(config.learning_rate).with_momentum(config.momentum);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -69,16 +80,18 @@ where
             opt.set_learning_rate(config.learning_rate * config.lr_decay.powi(epoch as i32));
         }
         clf.reset_pass_counters();
-        let start = Instant::now();
+        let span = simpadv_trace::span!("epoch", index = epoch);
         let mut loss_sum = 0.0;
         let mut batches = 0usize;
         for (idx, images, labels) in data.batches(config.batch_size, &mut rng) {
             loss_sum += step(clf, &mut opt, epoch, &idx, &images, &labels);
             batches += 1;
         }
-        let seconds = start.elapsed().as_secs_f64();
         let loss = if batches > 0 { loss_sum / batches as f32 } else { 0.0 };
-        report.push_epoch(loss, seconds, clf.forward_passes(), clf.backward_passes());
+        simpadv_trace::gauge("loss", f64::from(loss));
+        simpadv_trace::observe("loss_hist", f64::from(loss));
+        let timing = span.finish();
+        report.push_epoch(loss, &timing, clf.forward_passes(), clf.backward_passes());
     }
     report
 }

@@ -76,17 +76,65 @@ impl ProposedTrainer {
     }
 }
 
+/// Emits the persistent-example drift gauges the paper's empirical
+/// properties are about: mean and max per-example l∞ distance of the
+/// carried adversarial state from the clean images, and the fraction of
+/// pixels sitting at the ε-ball boundary.
+///
+/// Pure serial arithmetic in row order, so the gauge values are bitwise
+/// identical across thread counts. Call only when tracing is enabled —
+/// the scan is O(dataset).
+fn emit_drift_telemetry(adv: &simpadv_tensor::Tensor, clean: &simpadv_tensor::Tensor, eps: f32) {
+    let a = adv.as_slice();
+    let c = clean.as_slice();
+    let rows = adv.shape()[0];
+    if rows == 0 || a.len() != c.len() {
+        return;
+    }
+    let row_len = a.len() / rows;
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    let mut at_boundary = 0usize;
+    for r in 0..rows {
+        let mut row_max = 0.0f32;
+        for i in r * row_len..(r + 1) * row_len {
+            let d = (a[i] - c[i]).abs();
+            if d > row_max {
+                row_max = d;
+            }
+            if d >= eps - 1e-6 {
+                at_boundary += 1;
+            }
+        }
+        sum += f64::from(row_max);
+        max = max.max(f64::from(row_max));
+    }
+    simpadv_trace::gauge("drift_mean_linf", sum / rows as f64);
+    simpadv_trace::gauge("drift_max_linf", max);
+    simpadv_trace::gauge("boundary_frac", at_boundary as f64 / a.len() as f64);
+}
+
 impl Trainer for ProposedTrainer {
     fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
         // Persistent adversarial images, row-aligned with the dataset.
         let mut adv_state = data.images().clone();
         let mut last_reset_epoch = 0usize;
+        let mut last_seen_epoch = usize::MAX;
         let (epsilon, step, reset_period) = (self.epsilon, self.step, self.reset_period);
         run_epochs(&self.id(), clf, data, config, move |clf, opt, epoch, idx, x, y| {
             // Epoch-boundary reset (first batch of a reset epoch).
             if epoch > last_reset_epoch && epoch % reset_period == 0 {
                 adv_state = data.images().clone();
                 last_reset_epoch = epoch;
+                simpadv_trace::counter("reset", 1);
+            }
+            // Epoch-boundary telemetry: how far the persistent examples
+            // have drifted from clean (post-reset state on reset epochs).
+            if epoch != last_seen_epoch {
+                last_seen_epoch = epoch;
+                if simpadv_trace::enabled() && !simpadv_trace::events_suppressed() {
+                    emit_drift_telemetry(&adv_state, data.images(), epsilon);
+                }
             }
             // One large signed step from the carried-over examples,
             // projected onto the ε-ball of the *clean* images. The step

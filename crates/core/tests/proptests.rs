@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use simpadv::chart::render_accuracy_chart;
 use simpadv::{TrainConfig, TrainReport};
+use simpadv_trace::SpanTiming;
 
 proptest! {
     #[test]
@@ -37,7 +38,7 @@ proptest! {
         let n = losses.len().min(seconds.len());
         let mut r = TrainReport::new("prop");
         for i in 0..n {
-            r.push_epoch(losses[i], seconds[i], 10, 10);
+            r.push_epoch(losses[i], &SpanTiming::new(seconds[i], 10, 10), 10, 10);
         }
         let mean = r.mean_epoch_seconds();
         let lo = seconds[..n].iter().copied().fold(f64::INFINITY, f64::min);

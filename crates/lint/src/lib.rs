@@ -3,7 +3,7 @@
 //!
 //! The analyzer parses every `.rs` file in the workspace with a
 //! self-contained lexer (no external parser dependency — the build
-//! environment is offline) and enforces seven invariants the stack's
+//! environment is offline) and enforces eight invariants the stack's
 //! correctness rests on; see [`rules::RULES`] for the catalogue and
 //! `DESIGN.md` for the rationale behind each. Diagnostics are rendered
 //! rustc-style (`error[R3]: ... --> path:line`), optionally as JSON, and
@@ -63,6 +63,7 @@ fn classify(path: &str) -> (String, FileKind) {
     let (crate_name, rest): (String, &[&str]) =
         if parts.first() == Some(&"crates") && parts.len() > 2 {
             let pkg = match parts[1] {
+                "trace" => "simpadv-trace",
                 "runtime" => "simpadv-runtime",
                 "tensor" => "simpadv-tensor",
                 "nn" => "simpadv-nn",
@@ -71,6 +72,7 @@ fn classify(path: &str) -> (String, FileKind) {
                 "core" => "simpadv",
                 "cli" => "simpadv-cli",
                 "lint" => "simpadv-lint",
+                "bench" => "simpadv-bench",
                 other => other,
             };
             (pkg.to_string(), &parts[2..])
@@ -97,7 +99,7 @@ pub struct Workspace {
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Rule id (`R1`..`R7`).
+    /// Rule id (`R1`..`R8`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -253,6 +255,14 @@ mod tests {
         assert_eq!(
             classify("crates/attacks/benches/attack_speed.rs"),
             ("simpadv-attacks".to_string(), FileKind::Bench)
+        );
+        assert_eq!(
+            classify("crates/trace/src/sink.rs"),
+            ("simpadv-trace".to_string(), FileKind::Src)
+        );
+        assert_eq!(
+            classify("crates/bench/src/bin/table1.rs"),
+            ("simpadv-bench".to_string(), FileKind::Src)
         );
     }
 

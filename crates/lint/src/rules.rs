@@ -1,4 +1,4 @@
-//! The seven invariant rules (R1–R7).
+//! The eight invariant rules (R1–R8).
 //!
 //! Each rule is a pure function from a [`Workspace`] to diagnostics. The
 //! rules are syntactic but token-accurate: comments and string literals
@@ -12,6 +12,7 @@ use crate::{Diagnostic, FileKind, FileUnit, Workspace};
 
 /// Library crates whose `src/` must be free of ad-hoc panics (R1).
 const PANIC_FREE_CRATES: &[&str] = &[
+    "simpadv-trace",
     "simpadv-runtime",
     "simpadv-tensor",
     "simpadv-nn",
@@ -22,7 +23,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
 
 /// A rule's identity and entry point.
 pub struct Rule {
-    /// Stable id (`R1`..`R7`), referenced from `lint.toml`.
+    /// Stable id (`R1`..`R8`), referenced from `lint.toml`.
     pub id: &'static str,
     /// One-line summary shown by `--list`.
     pub summary: &'static str,
@@ -72,6 +73,12 @@ pub const RULES: &[Rule] = &[
         summary: "std::thread is permitted only in crates/runtime; everywhere else \
                   parallelism goes through simpadv_runtime::Runtime",
         check: rule_r7_thread_containment,
+    },
+    Rule {
+        id: "R8",
+        summary: "println!/eprintln! only in the cli, lint and bench crates and the \
+                  trace sinks; library crates report through simpadv-trace events",
+        check: rule_r8_print_containment,
     },
 ];
 
@@ -429,6 +436,52 @@ fn rule_r7_thread_containment(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
+/// Crates whose `src/` may print to stdout/stderr directly (R8): the
+/// user-facing CLI, the lint tool itself, and the bench/regeneration
+/// binaries.
+const PRINT_CRATES: &[&str] = &["simpadv-cli", "simpadv-lint", "simpadv-bench"];
+
+/// Print-family macros R8 confines.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+/// R8: stdout/stderr printing is confined to the user-facing crates.
+///
+/// Library crates must not talk to the terminal — observability goes
+/// through `simpadv-trace` events, whose sinks (`crates/trace/src/sink.rs`)
+/// are the one sanctioned place where telemetry becomes bytes.
+fn rule_r8_print_containment(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Src
+            || PRINT_CRATES.contains(&file.crate_name.as_str())
+            || file.path.ends_with("crates/trace/src/sink.rs")
+            || file.path == "crates/trace/src/sink.rs"
+        {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            if p.test_mask[i] {
+                continue;
+            }
+            let Some(m) = p.ident(i) else { continue };
+            if PRINT_MACROS.contains(&m) && p.is_punct(i + 1, '!') {
+                out.push(diag(
+                    "R8",
+                    file,
+                    p.line(i),
+                    m,
+                    format!(
+                        "`{m}!` in library code; emit a simpadv-trace event (span, \
+                         counter, gauge) and let a sink decide how to render it"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,5 +742,38 @@ pub fn try_reshape(&self, s: &[usize]) -> Result<T, E> { inner(s) }
             ("crates/data/src/synth.rs", "fn h() { let thread = 3; let x = thread; }"),
         ];
         assert!(run("R7", &files).is_empty());
+    }
+
+    // ---- R8 ----
+
+    #[test]
+    fn r8_fires_on_printing_from_library_src() {
+        let files = [
+            ("crates/tensor/src/ops.rs", "fn f() { println!(\"shape {s:?}\"); }"),
+            ("crates/trace/src/lib.rs", "fn g() { eprintln!(\"oops\"); }"),
+        ];
+        let d = run("R8", &files);
+        let items: Vec<&str> = d.iter().map(|d| d.item.as_str()).collect();
+        assert_eq!(items, vec!["println", "eprintln"]);
+    }
+
+    #[test]
+    fn r8_allows_cli_lint_bench_sinks_and_tests() {
+        let files = [
+            ("crates/cli/src/main.rs", "fn main() { println!(\"ok\"); }"),
+            ("crates/lint/src/main.rs", "fn main() { eprintln!(\"{d}\"); }"),
+            ("crates/bench/src/bin/table1.rs", "fn main() { println!(\"{row}\"); }"),
+            ("crates/trace/src/sink.rs", "fn emit() { println!(\"{line}\"); }"),
+            (
+                "crates/nn/src/layer.rs",
+                "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}\n",
+            ),
+            ("crates/core/tests/train.rs", "fn t() { println!(\"dbg\"); }"),
+            (
+                "crates/data/src/doc.rs",
+                r#"fn f() -> &'static str { "println! is mentioned here" }"#,
+            ),
+        ];
+        assert!(run("R8", &files).is_empty());
     }
 }

@@ -118,14 +118,32 @@ impl Classifier {
     /// callers credit one forward/backward per logical batch regardless
     /// of chunking. This keeps the Table I cost accounting independent
     /// of the thread count.
+    ///
+    /// Deliberately does **not** tick the global trace clock: the
+    /// replicas already ticked it once per actual pass, and crediting
+    /// again here would double-count.
     pub fn credit_external_passes(&mut self, forward: u64, backward: u64) {
         self.forward_passes += forward;
         self.backward_passes += backward;
     }
 
+    /// Counts one real forward pass on both the per-model counter and
+    /// the global trace clock.
+    fn note_forward(&mut self) {
+        self.forward_passes += 1;
+        simpadv_trace::clock::tick_forward(1);
+    }
+
+    /// Counts one real backward pass on both the per-model counter and
+    /// the global trace clock.
+    fn note_backward(&mut self) {
+        self.backward_passes += 1;
+        simpadv_trace::clock::tick_backward(1);
+    }
+
     /// Training-mode forward pass (dropout active, batch-norm batch stats).
     pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
-        self.forward_passes += 1;
+        self.note_forward();
         self.net.forward(x, Mode::Train)
     }
 
@@ -135,7 +153,7 @@ impl Classifier {
         let logits = self.forward_train(x);
         let (loss, grad) = self.loss.forward(&logits, y);
         self.net.zero_grad();
-        self.backward_passes += 1;
+        self.note_backward();
         let _ = self.net.backward(&grad);
         opt.step(&mut self.net.params());
         loss
@@ -157,7 +175,7 @@ impl Classifier {
         let logits = self.forward_train(x);
         let (loss, grad) = self.loss.forward(&logits, y);
         self.net.zero_grad();
-        self.backward_passes += 1;
+        self.note_backward();
         let grad_x = self.net.backward(&grad);
         opt.step(&mut self.net.params());
         (loss, grad_x)
@@ -177,7 +195,7 @@ impl Classifier {
     /// not match the last forward output.
     pub fn step_from_logit_grad(&mut self, grad_logits: &Tensor, opt: &mut dyn Optimizer) {
         self.net.zero_grad();
-        self.backward_passes += 1;
+        self.note_backward();
         let _ = self.net.backward(grad_logits);
         opt.step(&mut self.net.params());
     }
@@ -196,18 +214,18 @@ impl Classifier {
 
 impl GradientModel for Classifier {
     fn logits(&mut self, x: &Tensor) -> Tensor {
-        self.forward_passes += 1;
+        self.note_forward();
         self.net.forward(x, Mode::Eval)
     }
 
     fn loss_and_input_grad(&mut self, x: &Tensor, y: &[usize]) -> (f32, Tensor) {
-        self.forward_passes += 1;
+        self.note_forward();
         let logits = self.net.forward(x, Mode::Eval);
         let (loss, grad_logits) = self.loss.forward(&logits, y);
         // Attack gradients must not pollute the training gradients: clear
         // before and after the extra backward pass.
         self.net.zero_grad();
-        self.backward_passes += 1;
+        self.note_backward();
         let grad_x = self.net.backward(&grad_logits);
         self.net.zero_grad();
         (loss, grad_x)
@@ -218,12 +236,12 @@ impl GradientModel for Classifier {
         x: &Tensor,
         grad_of_logits: &mut dyn FnMut(&Tensor) -> Tensor,
     ) -> Tensor {
-        self.forward_passes += 1;
+        self.note_forward();
         let logits = self.net.forward(x, Mode::Eval);
         let grad_logits = grad_of_logits(&logits);
         assert_eq!(grad_logits.shape(), logits.shape(), "custom logit gradient shape mismatch");
         self.net.zero_grad();
-        self.backward_passes += 1;
+        self.note_backward();
         let grad_x = self.net.backward(&grad_logits);
         self.net.zero_grad();
         grad_x

@@ -241,17 +241,33 @@ impl Runtime {
     /// in order on the calling thread.
     ///
     /// Any panic raised by a task is propagated to the caller.
+    ///
+    /// Tracing: the whole region — including the serial fallback and the
+    /// caller's own worker-0 share — runs with event emission suppressed
+    /// (`simpadv_trace::suppress_events`), so the emitted event stream is
+    /// identical no matter how the tasks were scheduled. The logical
+    /// clock keeps ticking inside tasks; pool shape and per-task busy
+    /// time are recorded on the non-logical side of the clock.
     fn run_tasks<R, F>(&self, n_tasks: usize, task: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        simpadv_trace::clock::tick_pool_region(n_tasks as u64);
+        let timed = |i: usize| {
+            let t0 = std::time::Instant::now();
+            let r = task(i);
+            simpadv_trace::clock::add_busy_ns(t0.elapsed().as_nanos() as u64);
+            r
+        };
         if self.threads == 1 || n_tasks <= 1 {
-            return (0..n_tasks).map(task).collect();
+            let _quiet = simpadv_trace::suppress_events();
+            return (0..n_tasks).map(timed).collect();
         }
         let workers = self.threads.min(n_tasks);
+        simpadv_trace::clock::add_spawned_threads((workers - 1) as u64);
         let next = AtomicUsize::new(0);
-        let task = &task;
+        let timed = &timed;
         let next = &next;
         let claim = move || {
             let mut claimed = Vec::new();
@@ -260,7 +276,7 @@ impl Runtime {
                 if i >= n_tasks {
                     break;
                 }
-                claimed.push((i, task(i)));
+                claimed.push((i, timed(i)));
             }
             claimed
         };
@@ -270,6 +286,7 @@ impl Runtime {
                 .map(|_| {
                     scope.spawn(move || {
                         IN_WORKER.with(|f| f.set(true));
+                        simpadv_trace::suppress_events_on_this_thread();
                         claim()
                     })
                 })
@@ -278,6 +295,7 @@ impl Runtime {
             // parallel regions degrade to serial here too.
             let own = {
                 let _guard = WorkerFlagGuard::enter();
+                let _quiet = simpadv_trace::suppress_events();
                 claim()
             };
             let mut all: Vec<Vec<(usize, R)>> = handles
@@ -376,6 +394,10 @@ impl Runtime {
     /// Runs two closures, potentially in parallel, and returns both
     /// results as `(a, b)`.
     ///
+    /// Both closures run with trace-event emission suppressed on every
+    /// path (serial and spawned), so the emitted stream does not depend
+    /// on whether `fb` ran inline or on its own thread.
+    ///
     /// Panics raised by either closure are propagated.
     pub fn par_join<A, B, FA, FB>(&self, fa: FA, fb: FB) -> (A, B)
     where
@@ -385,11 +407,19 @@ impl Runtime {
         FB: FnOnce() -> B + Send,
     {
         if self.threads == 1 {
+            let _quiet = simpadv_trace::suppress_events();
             return (fa(), fb());
         }
+        simpadv_trace::clock::add_spawned_threads(1);
         std::thread::scope(|scope| {
-            let hb = scope.spawn(fb);
-            let a = fa();
+            let hb = scope.spawn(move || {
+                simpadv_trace::suppress_events_on_this_thread();
+                fb()
+            });
+            let a = {
+                let _quiet = simpadv_trace::suppress_events();
+                fa()
+            };
             let b = hb.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload));
             (a, b)
         })

@@ -146,6 +146,7 @@ impl Tensor {
                 op: "matmul",
             });
         }
+        simpadv_trace::clock::add_flops((m * k * n) as u64);
         let a = self.as_slice();
         let b = rhs.as_slice();
         if let Some((rt, chunk)) = parallel_plan(m, k, n) {
@@ -185,6 +186,7 @@ impl Tensor {
                 op: "matmul_tn",
             });
         }
+        simpadv_trace::clock::add_flops((m * k * n) as u64);
         let a = self.as_slice();
         let b = rhs.as_slice();
         // out[i][j] = sum_p a[p][i] * b[p][j]
@@ -225,6 +227,7 @@ impl Tensor {
                 op: "matmul_nt",
             });
         }
+        simpadv_trace::clock::add_flops((m * k * n) as u64);
         let a = self.as_slice();
         let b = rhs.as_slice();
         if let Some((rt, chunk)) = parallel_plan(m, k, n) {

@@ -1,0 +1,229 @@
+//! Pluggable event sinks: JSONL, pretty, in-memory, null.
+//!
+//! Sinks are best-effort by design: telemetry must never take down a
+//! training run, so I/O errors are swallowed (the write is skipped and
+//! the sink keeps accepting events). The JSONL sink writes through a
+//! [`std::io::LineWriter`], so every event line reaches the file even if
+//! the process exits without an explicit flush.
+
+use crate::event::{Event, EventKind};
+use std::io::{LineWriter, Write};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Output format selected by `--trace-format` / `SIMPADV_TRACE_FORMAT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// One JSON object per line — the machine-readable default.
+    #[default]
+    Jsonl,
+    /// Indented human-readable lines.
+    Pretty,
+}
+
+impl TraceFormat {
+    /// Parses a format name (`jsonl` or `pretty`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "jsonl" => Some(TraceFormat::Jsonl),
+            "pretty" => Some(TraceFormat::Pretty),
+            _ => None,
+        }
+    }
+}
+
+/// Where emitted events go.
+pub trait Sink: Send {
+    /// Accepts one event. Must not panic; I/O failures are swallowed.
+    fn record(&mut self, event: &Event);
+    /// Pushes buffered output to its destination.
+    fn flush(&mut self);
+}
+
+/// Discards everything (the default when tracing is off).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&mut self, _event: &Event) {}
+    fn flush(&mut self) {}
+}
+
+/// Writes one JSON object per line.
+pub struct JsonlSink<W: Write + Send> {
+    writer: LineWriter<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: LineWriter::new(writer) }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        let mut line = event.to_json_line();
+        line.push('\n');
+        let _ = self.writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Writes indented human-readable lines, one per event.
+pub struct PrettySink<W: Write + Send> {
+    writer: LineWriter<W>,
+    depth: usize,
+}
+
+impl<W: Write + Send> PrettySink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        PrettySink { writer: LineWriter::new(writer), depth: 0 }
+    }
+}
+
+fn render_pairs(pairs: &[(String, crate::FieldValue)]) -> String {
+    pairs.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
+}
+
+impl<W: Write + Send> Sink for PrettySink<W> {
+    fn record(&mut self, event: &Event) {
+        if event.kind == EventKind::SpanClose {
+            self.depth = self.depth.saturating_sub(1);
+        }
+        let indent = "  ".repeat(self.depth);
+        let marker = match event.kind {
+            EventKind::SpanOpen => ">",
+            EventKind::SpanClose => "<",
+            EventKind::Counter => "+",
+            EventKind::Gauge => "=",
+            EventKind::Histogram => "#",
+        };
+        let mut line = format!("{indent}{marker} {} {}", event.path, render_pairs(&event.fields));
+        let meta = render_pairs(&event.meta);
+        if !meta.is_empty() {
+            line.push_str(&format!(" [{meta}]"));
+        }
+        line.push('\n');
+        let _ = self.writer.write_all(line.as_bytes());
+        if event.kind == EventKind::SpanOpen {
+            self.depth += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Collects events in memory; the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+/// A handle onto a [`MemorySink`]'s event buffer, valid after the sink
+/// itself has been installed into (and moved behind) the tracer.
+#[derive(Debug, Clone)]
+pub struct MemoryHandle {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink and a handle observing it.
+    pub fn new() -> (Self, MemoryHandle) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        (MemorySink { events: Arc::clone(&events) }, MemoryHandle { events })
+    }
+}
+
+impl MemoryHandle {
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+    }
+
+    fn flush(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+
+    fn ev(seq: u64, kind: EventKind, path: &str) -> Event {
+        Event {
+            seq,
+            kind,
+            path: path.to_string(),
+            fields: vec![("k".to_string(), FieldValue::U64(seq))],
+            meta: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.record(&ev(0, EventKind::SpanOpen, "a"));
+            sink.record(&ev(1, EventKind::SpanClose, "a"));
+            sink.flush();
+        }
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: Event = serde_json::from_str(line).expect("valid event");
+            assert_eq!(back.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn pretty_sink_indents_by_span_depth() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = PrettySink::new(&mut buf);
+            sink.record(&ev(0, EventKind::SpanOpen, "train"));
+            sink.record(&ev(1, EventKind::Gauge, "train/loss"));
+            sink.record(&ev(2, EventKind::SpanClose, "train"));
+            sink.flush();
+        }
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("> train"));
+        assert!(lines[1].starts_with("  = train/loss"));
+        assert!(lines[2].starts_with("< train"));
+    }
+
+    #[test]
+    fn memory_sink_take_and_snapshot() {
+        let (mut sink, handle) = MemorySink::new();
+        sink.record(&ev(0, EventKind::Counter, "c"));
+        assert_eq!(handle.snapshot().len(), 1);
+        assert_eq!(handle.take().len(), 1);
+        assert!(handle.take().is_empty());
+    }
+
+    #[test]
+    fn trace_format_parses() {
+        assert_eq!(TraceFormat::parse("jsonl"), Some(TraceFormat::Jsonl));
+        assert_eq!(TraceFormat::parse("pretty"), Some(TraceFormat::Pretty));
+        assert_eq!(TraceFormat::parse("xml"), None);
+        assert_eq!(TraceFormat::default(), TraceFormat::Jsonl);
+    }
+}

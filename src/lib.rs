@@ -10,6 +10,8 @@
 //! * [`data`] — synthetic MNIST / Fashion-MNIST ([`simpadv_data`])
 //! * [`attacks`] — FGSM / BIM / PGD / MIM ([`simpadv_attacks`])
 //! * [`defense`] — the paper's trainers and experiment harness ([`simpadv`])
+//! * [`trace`] — structured tracing, metrics and profiling hooks
+//!   ([`simpadv_trace`])
 //!
 //! See the repository `README.md` for a walkthrough and `DESIGN.md` for the
 //! system inventory.
@@ -19,3 +21,4 @@ pub use simpadv_attacks as attacks;
 pub use simpadv_data as data;
 pub use simpadv_nn as nn;
 pub use simpadv_tensor as tensor;
+pub use simpadv_trace as trace;
