@@ -18,7 +18,7 @@ use simpadv::experiments::ExperimentScale;
 use simpadv_trace::TraceFormat;
 
 /// The common CLI of the regeneration binaries: workload scale, thread
-/// override, and trace destination.
+/// override, trace destination, and crash-safe checkpointing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchOpts {
     /// Experiment workload (`--smoke` / `--quick` / `--full`).
@@ -31,13 +31,24 @@ pub struct BenchOpts {
     pub trace: Option<std::path::PathBuf>,
     /// `--trace-format jsonl|pretty` (default jsonl).
     pub trace_format: TraceFormat,
+    /// `--checkpoint-dir DIR` root for training snapshots; every training
+    /// run inside the binary gets its own numbered subdirectory (in call
+    /// order, which is deterministic), so `--resume` after a crash pairs
+    /// each run with its own checkpoints.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// `--checkpoint-every N` epochs between snapshots (default 1).
+    pub checkpoint_every: usize,
+    /// `--resume`: continue each training run from its newest valid
+    /// snapshot; bitwise identical to an uninterrupted run.
+    pub resume: bool,
 }
 
 impl BenchOpts {
     /// Parses the shared flags of the regeneration binaries.
     ///
     /// Recognized: `--full`, `--smoke`, `--quick` (default: quick),
-    /// `--threads N`, `--trace FILE` and `--trace-format jsonl|pretty`.
+    /// `--threads N`, `--trace FILE`, `--trace-format jsonl|pretty`,
+    /// `--checkpoint-dir DIR`, `--checkpoint-every N` and `--resume`.
     /// Unknown flags or missing/invalid values abort with a usage
     /// message.
     pub fn from_args(args: &[String]) -> Self {
@@ -46,6 +57,9 @@ impl BenchOpts {
             threads: None,
             trace: None,
             trace_format: TraceFormat::Jsonl,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -74,20 +88,42 @@ impl BenchOpts {
                         std::process::exit(2);
                     }
                 },
+                "--checkpoint-dir" => match it.next() {
+                    Some(dir) => opts.checkpoint_dir = Some(std::path::PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--checkpoint-dir needs a directory value");
+                        std::process::exit(2);
+                    }
+                },
+                "--checkpoint-every" => match it.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n > 0 => opts.checkpoint_every = n,
+                    _ => {
+                        eprintln!("--checkpoint-every needs a positive integer value");
+                        std::process::exit(2);
+                    }
+                },
+                "--resume" => opts.resume = true,
                 other => {
                     eprintln!(
                         "unknown flag {other}; use --smoke | --quick | --full | --threads N \
-                         | --trace FILE | --trace-format jsonl|pretty"
+                         | --trace FILE | --trace-format jsonl|pretty | --checkpoint-dir DIR \
+                         | --checkpoint-every N | --resume"
                     );
                     std::process::exit(2);
                 }
             }
         }
+        if opts.resume && opts.checkpoint_dir.is_none() {
+            eprintln!("--resume requires --checkpoint-dir");
+            std::process::exit(2);
+        }
         opts
     }
 
     /// Applies the options to the process: sets the global thread count
-    /// (when overridden) and installs the trace sink (when requested).
+    /// (when overridden), installs the trace sink (when requested) and the
+    /// ambient checkpoint policy (when `--checkpoint-dir` was given) that
+    /// every `Trainer::train` call inside the binary picks up.
     /// Pair with [`BenchOpts::finish`] before exiting.
     pub fn apply(&self) {
         if let Some(n) = self.threads {
@@ -99,18 +135,33 @@ impl BenchOpts {
                 std::process::exit(2);
             }
         }
+        simpadv::train::set_checkpoint_policy(self.checkpoint_dir.as_ref().map(|dir| {
+            simpadv::train::CheckpointPolicy {
+                dir: dir.clone(),
+                every: self.checkpoint_every,
+                resume: self.resume,
+            }
+        }));
     }
 
     /// Flushes and removes the trace sink installed by
-    /// [`BenchOpts::apply`]; a no-op when `--trace` was not given.
+    /// [`BenchOpts::apply`]; a no-op when `--trace` was not given. Also
+    /// clears the ambient checkpoint policy.
     pub fn finish(&self) {
         if self.trace.is_some() {
             simpadv_trace::uninstall();
+        }
+        if self.checkpoint_dir.is_some() {
+            simpadv::train::set_checkpoint_policy(None);
         }
     }
 }
 
 /// Writes a JSON artifact under `results/`, creating the directory.
+///
+/// The write is atomic (temp file + rename via `simpadv-resilience`) with
+/// a bounded retry on transient I/O errors, so a crash mid-regeneration
+/// never leaves a truncated artifact behind.
 ///
 /// # Errors
 ///
@@ -122,8 +173,7 @@ pub fn write_artifact<T: serde::Serialize>(
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    let file = std::fs::File::create(&path)?;
-    serde_json::to_writer_pretty(file, value)?;
+    simpadv_resilience::write_json_atomic(&path, value)?;
     Ok(path)
 }
 
@@ -179,5 +229,28 @@ mod tests {
         let opts = BenchOpts::from_args(&[]);
         opts.apply();
         opts.finish();
+    }
+
+    #[test]
+    fn checkpoint_flags_are_parsed() {
+        let opts = BenchOpts::from_args(&argv("--smoke --checkpoint-dir ckpts"));
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some(std::path::Path::new("ckpts")));
+        assert_eq!(opts.checkpoint_every, 1);
+        assert!(!opts.resume);
+        let opts =
+            BenchOpts::from_args(&argv("--checkpoint-dir ckpts --checkpoint-every 5 --resume"));
+        assert_eq!(opts.checkpoint_every, 5);
+        assert!(opts.resume);
+    }
+
+    #[test]
+    fn apply_installs_and_finish_clears_the_ambient_policy() {
+        let dir = std::env::temp_dir().join("simpadv-bench-policy-test");
+        let opts = BenchOpts::from_args(&argv(&format!("--checkpoint-dir {}", dir.display())));
+        opts.apply();
+        opts.finish();
+        // after finish, plain train calls must not checkpoint: the policy
+        // is global, so leaving it set would leak into other tests
+        assert!(!dir.join("000-vanilla").exists());
     }
 }

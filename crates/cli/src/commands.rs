@@ -3,15 +3,15 @@
 use crate::args::{Args, ParseError};
 use crate::checkpoint::SavedModel;
 use simpadv::train::{
-    AtdaTrainer, BimAdvTrainer, FgsmAdvTrainer, FreeAdvTrainer, ProposedTrainer, Trainer,
-    VanillaTrainer,
+    AtdaTrainer, BimAdvTrainer, CheckpointSession, FgsmAdvTrainer, FreeAdvTrainer, ProposedTrainer,
+    Trainer, VanillaTrainer,
 };
 use simpadv::{EvalSuite, ModelSpec, TrainConfig};
 use simpadv_attacks::{Attack, Bim, FgmL2, Fgsm, LeastLikelyFgsm, Mim, Pgd, PgdL2, RandomNoise};
 use simpadv_data::{ascii_image, SynthConfig, SynthDataset};
+use simpadv_resilience::PersistError;
 use std::error::Error;
 use std::fmt;
-use std::fs::File;
 use std::io::Write;
 
 /// A CLI failure: bad arguments or a failing operation.
@@ -44,6 +44,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<PersistError> for CliError {
+    fn from(e: PersistError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Usage text printed by `help` and on argument errors.
 pub const USAGE: &str = "\
 simpadv — simplified adversarial training (Liu et al., 2019 reproduction)
@@ -53,8 +59,13 @@ USAGE: simpadv-cli <command> [--option value ...]
 COMMANDS
   generate  --dataset mnist|fashion [--samples N] [--seed S] [--preview K]
   train     --dataset mnist|fashion [--method M] [--epochs N] [--samples N]
-            [--seed S] [--out FILE]
+            [--seed S] [--out FILE] [--checkpoint-dir DIR]
+            [--checkpoint-every N] [--resume latest]
             methods: vanilla fgsm atda proposed free bim10 bim30
+            with --checkpoint-dir, a full training snapshot is written
+            every N epochs (default 1); --resume latest continues from
+            the newest valid snapshot, bitwise identical to an
+            uninterrupted run
   evaluate  --model FILE --dataset mnist|fashion [--samples N] [--seed S]
   attack    --model FILE --dataset mnist|fashion [--attack A] [--index I]
             attacks: noise fgsm llfgsm bim10 bim30 pgd10 mim10 fgml2 pgdl2
@@ -201,6 +212,9 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "seed",
         "out",
         "lr",
+        "checkpoint-dir",
+        "checkpoint-every",
+        "resume",
         "threads",
         "trace",
         "trace-format",
@@ -213,13 +227,14 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let seed = args.get_num("seed", 1u64)?;
     let lr = args.get_num("lr", 0.1f32)?;
     let (mut trainer, method_id) = parse_method(&method, eps)?;
+    let mut session = parse_checkpointing(args)?;
 
     let train = dataset.generate(&SynthConfig::new(samples, seed));
     let spec = ModelSpec::default_mlp();
     let mut clf = spec.build(seed);
     let config = TrainConfig::new(epochs, seed).with_learning_rate(lr).with_lr_decay(0.97);
     writeln!(out, "training {method_id} on {} ({samples} images, {epochs} epochs)", dataset.id())?;
-    let report = trainer.train(&mut clf, &train, &config);
+    let report = trainer.train_resumable(&mut clf, &train, &config, &mut session)?;
     writeln!(
         out,
         "final loss {:.4}, {:.3}s/epoch, {:.0} gradient passes/epoch",
@@ -229,16 +244,36 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     )?;
     if let Ok(path) = args.require("out") {
         let saved = SavedModel::capture(&spec, &clf, dataset.id(), method_id);
-        saved.save(File::create(path)?)?;
+        saved.save_to(path)?;
         writeln!(out, "wrote {path}")?;
     }
     Ok(())
 }
 
+/// Builds the train command's [`CheckpointSession`] from
+/// `--checkpoint-dir DIR`, `--checkpoint-every N` and `--resume latest`.
+fn parse_checkpointing(args: &Args) -> Result<CheckpointSession, CliError> {
+    let resume = match args.require("resume") {
+        Ok("latest") => true,
+        Ok(other) => {
+            return Err(CliError(format!("unknown --resume mode '{other}' (expected: latest)")))
+        }
+        Err(_) => false,
+    };
+    match args.require("checkpoint-dir") {
+        Ok(dir) => {
+            let every = args.get_num("checkpoint-every", 1usize)?;
+            Ok(CheckpointSession::new(dir, every)?.with_resume(resume))
+        }
+        Err(_) if resume => Err(CliError("--resume requires --checkpoint-dir".into())),
+        Err(_) => Ok(CheckpointSession::disabled()),
+    }
+}
+
 fn cmd_evaluate<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     args.expect_only(&["model", "dataset", "samples", "seed", "threads", "trace", "trace-format"])?;
     let dataset = parse_dataset(args)?;
-    let saved = SavedModel::load(File::open(args.require("model")?)?)?;
+    let saved = SavedModel::load_from(args.require("model")?)?;
     let mut clf = saved.restore();
     let samples = args.get_num("samples", 400usize)?;
     let seed = args.get_num("seed", 2u64)?;
@@ -268,7 +303,7 @@ fn cmd_attack<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "trace-format",
     ])?;
     let dataset = parse_dataset(args)?;
-    let saved = SavedModel::load(File::open(args.require("model")?)?)?;
+    let saved = SavedModel::load_from(args.require("model")?)?;
     let mut clf = saved.restore();
     let seed = args.get_num("seed", 3u64)?;
     let index = args.get_num("index", 0usize)?;
@@ -438,6 +473,58 @@ mod tests {
     #[test]
     fn stray_positionals_are_rejected_per_command() {
         assert!(run_line("generate mnist --dataset mnist --samples 4").is_err());
+    }
+
+    #[test]
+    fn checkpointed_train_resumes_to_identical_model() {
+        let dir = std::env::temp_dir().join("simpadv-cli-resume-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("ckpts");
+        let ckpt = ckpt.to_str().unwrap().to_string();
+        let straight = dir.join("straight.ckpt");
+        let resumed = dir.join("resumed.ckpt");
+
+        // uninterrupted 4-epoch run
+        run_line(&format!(
+            "train --dataset mnist --method vanilla --epochs 4 --samples 60 --out {}",
+            straight.display()
+        ))
+        .unwrap();
+        // 2 epochs with checkpointing, then a fresh process-equivalent
+        // invocation resuming to 4
+        run_line(&format!(
+            "train --dataset mnist --method vanilla --epochs 2 --samples 60 \
+             --checkpoint-dir {ckpt} --checkpoint-every 1"
+        ))
+        .unwrap();
+        run_line(&format!(
+            "train --dataset mnist --method vanilla --epochs 4 --samples 60 \
+             --checkpoint-dir {ckpt} --resume latest --out {}",
+            resumed.display()
+        ))
+        .unwrap();
+        let a = SavedModel::load_from(&straight).unwrap();
+        let b = SavedModel::load_from(&resumed).unwrap();
+        assert_eq!(a.state, b.state, "resumed weights must match the straight run bitwise");
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        assert!(run_line("train --dataset mnist --epochs 1 --samples 16 --resume latest")
+            .unwrap_err()
+            .to_string()
+            .contains("--checkpoint-dir"));
+        let dir = std::env::temp_dir().join("simpadv-cli-resume-flags");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(run_line(&format!(
+            "train --dataset mnist --epochs 1 --samples 16 \
+             --checkpoint-dir {} --resume everything",
+            dir.display()
+        ))
+        .unwrap_err()
+        .to_string()
+        .contains("unknown --resume mode"));
     }
 
     #[test]

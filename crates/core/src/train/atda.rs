@@ -1,12 +1,13 @@
 //! ATDA — Adversarial Training with Domain Adaptation (Song et al., 2018),
 //! the SOTA Single-Adv comparator of the paper's Table I.
 
-use super::{run_epochs, Trainer};
+use super::{run_epochs, CheckpointSession, Trainer, TrainerAux};
 use crate::config::TrainConfig;
 use crate::report::TrainReport;
 use simpadv_attacks::{Attack, Fgsm};
 use simpadv_data::Dataset;
 use simpadv_nn::{Classifier, Loss, SoftmaxCrossEntropy};
+use simpadv_resilience::PersistError;
 use simpadv_tensor::Tensor;
 
 /// ATDA treats clean and (single-step) adversarial examples as two domains
@@ -62,36 +63,55 @@ impl AtdaTrainer {
 }
 
 impl Trainer for AtdaTrainer {
-    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
+    fn train_resumable(
+        &mut self,
+        clf: &mut Classifier,
+        data: &Dataset,
+        config: &TrainConfig,
+        session: &mut CheckpointSession,
+    ) -> Result<TrainReport, PersistError> {
         let mut attack = Fgsm::new(self.epsilon);
         let ce = SoftmaxCrossEntropy::new();
         let classes = data.num_classes();
-        let mut centers = Tensor::zeros(&[classes, classes.max(1)]);
-        // centers live in logit space: [classes, logit_dim == classes]
+        // centers live in logit space: [classes, logit_dim == classes];
+        // they are EMAs carried across epochs, hence checkpointable aux.
+        let aux = TrainerAux::Atda { centers: Tensor::zeros(&[classes, classes.max(1)]) };
         let (lambda, center_momentum) = (self.lambda, self.center_momentum);
-        run_epochs(&self.id(), clf, data, config, move |clf, opt, _epoch, _idx, x, y| {
-            let n = x.shape()[0];
-            // 1. single-step adversarial domain
-            let adv = attack.perturb(clf, x, y);
-            // 2. one forward over both domains
-            let combined = Tensor::concat_rows(&[x, &adv]);
-            let mut labels = y.to_vec();
-            labels.extend_from_slice(y);
-            let logits = clf.forward_train(&combined);
-            let z_clean = logits.rows(0..n);
-            let z_adv = logits.rows(n..2 * n);
-            // 3. composite loss gradient in logit space
-            let (ce_loss, ce_grad) = ce.forward(&logits, &labels);
-            let (da_loss, g_clean, g_adv) = domain_adaptation_grad(&z_clean, &z_adv, &centers, y);
-            let mut grad = ce_grad;
-            let da_grad = Tensor::concat_rows(&[&g_clean, &g_adv]).mul_scalar(lambda);
-            grad.add_assign(&da_grad);
-            // 4. backprop the combined gradient and step
-            clf.step_from_logit_grad(&grad, opt);
-            // 5. update class centers from the clean domain (no gradient)
-            update_centers(&mut centers, &z_clean, y, center_momentum);
-            ce_loss + lambda * da_loss
-        })
+        run_epochs(
+            &self.id(),
+            clf,
+            data,
+            config,
+            session,
+            aux,
+            move |clf, opt, aux, _epoch, _idx, x, y| {
+                let TrainerAux::Atda { centers } = aux else {
+                    unreachable!("atda trainer always runs with Atda aux state")
+                };
+                let n = x.shape()[0];
+                // 1. single-step adversarial domain
+                let adv = attack.perturb(clf, x, y);
+                // 2. one forward over both domains
+                let combined = Tensor::concat_rows(&[x, &adv]);
+                let mut labels = y.to_vec();
+                labels.extend_from_slice(y);
+                let logits = clf.forward_train(&combined);
+                let z_clean = logits.rows(0..n);
+                let z_adv = logits.rows(n..2 * n);
+                // 3. composite loss gradient in logit space
+                let (ce_loss, ce_grad) = ce.forward(&logits, &labels);
+                let (da_loss, g_clean, g_adv) =
+                    domain_adaptation_grad(&z_clean, &z_adv, centers, y);
+                let mut grad = ce_grad;
+                let da_grad = Tensor::concat_rows(&[&g_clean, &g_adv]).mul_scalar(lambda);
+                grad.add_assign(&da_grad);
+                // 4. backprop the combined gradient and step
+                clf.step_from_logit_grad(&grad, opt);
+                // 5. update class centers from the clean domain (no gradient)
+                update_centers(centers, &z_clean, y, center_momentum);
+                ce_loss + lambda * da_loss
+            },
+        )
     }
 
     fn id(&self) -> String {

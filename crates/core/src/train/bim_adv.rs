@@ -1,11 +1,12 @@
 //! Adversarial training with iterative (BIM) examples — Iter-Adv.
 
-use super::{run_epochs, train_on_mixture, Trainer};
+use super::{run_epochs, train_on_mixture, CheckpointSession, Trainer, TrainerAux};
 use crate::config::TrainConfig;
 use crate::report::TrainReport;
 use simpadv_attacks::{Attack, Bim};
 use simpadv_data::Dataset;
 use simpadv_nn::Classifier;
+use simpadv_resilience::PersistError;
 
 /// Iter-Adv (Kurakin et al. / Madry et al.): each batch trains on a
 /// mixture of clean examples and BIM(k) examples regenerated from scratch
@@ -40,12 +41,26 @@ impl BimAdvTrainer {
 }
 
 impl Trainer for BimAdvTrainer {
-    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
+    fn train_resumable(
+        &mut self,
+        clf: &mut Classifier,
+        data: &Dataset,
+        config: &TrainConfig,
+        session: &mut CheckpointSession,
+    ) -> Result<TrainReport, PersistError> {
         let mut attack = Bim::new(self.epsilon, self.iterations);
-        run_epochs(&self.id(), clf, data, config, |clf, opt, _epoch, _idx, x, y| {
-            let adv = attack.perturb(clf, x, y);
-            train_on_mixture(clf, opt, x, &adv, y)
-        })
+        run_epochs(
+            &self.id(),
+            clf,
+            data,
+            config,
+            session,
+            TrainerAux::None,
+            |clf, opt, _aux, _epoch, _idx, x, y| {
+                let adv = attack.perturb(clf, x, y);
+                train_on_mixture(clf, opt, x, &adv, y)
+            },
+        )
     }
 
     fn id(&self) -> String {

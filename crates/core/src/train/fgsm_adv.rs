@@ -1,11 +1,12 @@
 //! Adversarial training with single-step FGSM examples.
 
-use super::{run_epochs, train_on_mixture, Trainer};
+use super::{run_epochs, train_on_mixture, CheckpointSession, Trainer, TrainerAux};
 use crate::config::TrainConfig;
 use crate::report::TrainReport;
 use simpadv_attacks::{Attack, Fgsm};
 use simpadv_data::Dataset;
 use simpadv_nn::Classifier;
+use simpadv_resilience::PersistError;
 
 /// The original Single-Adv method (Goodfellow et al., 2015): each batch
 /// trains on a mixture of clean examples and FGSM examples generated
@@ -37,12 +38,26 @@ impl FgsmAdvTrainer {
 }
 
 impl Trainer for FgsmAdvTrainer {
-    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
+    fn train_resumable(
+        &mut self,
+        clf: &mut Classifier,
+        data: &Dataset,
+        config: &TrainConfig,
+        session: &mut CheckpointSession,
+    ) -> Result<TrainReport, PersistError> {
         let mut attack = Fgsm::new(self.epsilon);
-        run_epochs(&self.id(), clf, data, config, |clf, opt, _epoch, _idx, x, y| {
-            let adv = attack.perturb(clf, x, y);
-            train_on_mixture(clf, opt, x, &adv, y)
-        })
+        run_epochs(
+            &self.id(),
+            clf,
+            data,
+            config,
+            session,
+            TrainerAux::None,
+            |clf, opt, _aux, _epoch, _idx, x, y| {
+                let adv = attack.perturb(clf, x, y);
+                train_on_mixture(clf, opt, x, &adv, y)
+            },
+        )
     }
 
     fn id(&self) -> String {

@@ -3,12 +3,13 @@
 //! of the proposed method: both amortize the cost of iterative
 //! adversarial examples instead of paying it inside every batch.
 
-use super::{run_epochs, Trainer};
+use super::{run_epochs, CheckpointSession, Trainer, TrainerAux};
 use crate::config::TrainConfig;
 use crate::report::TrainReport;
 use simpadv_attacks::project_ball;
 use simpadv_data::Dataset;
 use simpadv_nn::Classifier;
+use simpadv_resilience::PersistError;
 
 /// Free adversarial training: each minibatch is replayed `m` times; every
 /// replay trains on `x + δ` and **recycles the input gradient of that
@@ -51,25 +52,44 @@ impl FreeAdvTrainer {
 }
 
 impl Trainer for FreeAdvTrainer {
-    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
-        let mut delta_state = simpadv_tensor::Tensor::zeros(data.images().shape());
+    fn train_resumable(
+        &mut self,
+        clf: &mut Classifier,
+        data: &Dataset,
+        config: &TrainConfig,
+        session: &mut CheckpointSession,
+    ) -> Result<TrainReport, PersistError> {
+        // δ is carried across epochs (the whole point of "free" training),
+        // so it lives in the checkpointable aux state.
+        let aux = TrainerAux::Free { delta: simpadv_tensor::Tensor::zeros(data.images().shape()) };
         let (epsilon, replays) = (self.epsilon, self.replays);
-        run_epochs(&self.id(), clf, data, config, move |clf, opt, _epoch, idx, x, y| {
-            let mut delta = delta_state.gather_rows(idx);
-            let mut loss_sum = 0.0;
-            for _ in 0..replays {
-                let adv = project_ball(&x.add(&delta), x, epsilon);
-                let (loss, grad_x) = clf.train_batch_with_input_grad(&adv, y, opt);
-                loss_sum += loss;
-                // recycle the gradient: one signed step on delta
-                delta.add_assign(&grad_x.sign().mul_scalar(epsilon / replays as f32));
-                delta.clamp_in_place(-epsilon, epsilon);
-            }
-            for (k, &i) in idx.iter().enumerate() {
-                delta_state.set_row(i, &delta.row(k));
-            }
-            loss_sum / replays as f32
-        })
+        run_epochs(
+            &self.id(),
+            clf,
+            data,
+            config,
+            session,
+            aux,
+            move |clf, opt, aux, _epoch, idx, x, y| {
+                let TrainerAux::Free { delta: delta_state } = aux else {
+                    unreachable!("free trainer always runs with Free aux state")
+                };
+                let mut delta = delta_state.gather_rows(idx);
+                let mut loss_sum = 0.0;
+                for _ in 0..replays {
+                    let adv = project_ball(&x.add(&delta), x, epsilon);
+                    let (loss, grad_x) = clf.train_batch_with_input_grad(&adv, y, opt);
+                    loss_sum += loss;
+                    // recycle the gradient: one signed step on delta
+                    delta.add_assign(&grad_x.sign().mul_scalar(epsilon / replays as f32));
+                    delta.clamp_in_place(-epsilon, epsilon);
+                }
+                for (k, &i) in idx.iter().enumerate() {
+                    delta_state.set_row(i, &delta.row(k));
+                }
+                loss_sum / replays as f32
+            },
+        )
     }
 
     fn id(&self) -> String {

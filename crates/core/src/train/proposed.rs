@@ -1,12 +1,13 @@
 //! The paper's contribution: simplified Single-Adv training with
 //! epoch-wise iterated, persistent adversarial examples.
 
-use super::{run_epochs, train_on_mixture, Trainer};
+use super::{run_epochs, train_on_mixture, CheckpointSession, Trainer, TrainerAux};
 use crate::config::TrainConfig;
 use crate::report::TrainReport;
 use simpadv_attacks::parallel::signed_step_parallel;
 use simpadv_data::Dataset;
 use simpadv_nn::Classifier;
+use simpadv_resilience::PersistError;
 use simpadv_runtime::Runtime;
 
 /// The proposed method (Figure 3b of the paper).
@@ -115,42 +116,61 @@ fn emit_drift_telemetry(adv: &simpadv_tensor::Tensor, clean: &simpadv_tensor::Te
 }
 
 impl Trainer for ProposedTrainer {
-    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
-        // Persistent adversarial images, row-aligned with the dataset.
-        let mut adv_state = data.images().clone();
-        let mut last_reset_epoch = 0usize;
+    fn train_resumable(
+        &mut self,
+        clf: &mut Classifier,
+        data: &Dataset,
+        config: &TrainConfig,
+        session: &mut CheckpointSession,
+    ) -> Result<TrainReport, PersistError> {
+        // Persistent adversarial images, row-aligned with the dataset —
+        // the state that makes this trainer's checkpoints more than
+        // weights. Owned by the epoch loop so snapshots capture it; a
+        // resume hands back the carried examples and reset schedule.
+        let aux = TrainerAux::Proposed { adv: data.images().clone(), last_reset_epoch: 0 };
         let mut last_seen_epoch = usize::MAX;
         let (epsilon, step, reset_period) = (self.epsilon, self.step, self.reset_period);
-        run_epochs(&self.id(), clf, data, config, move |clf, opt, epoch, idx, x, y| {
-            // Epoch-boundary reset (first batch of a reset epoch).
-            if epoch > last_reset_epoch && epoch % reset_period == 0 {
-                adv_state = data.images().clone();
-                last_reset_epoch = epoch;
-                simpadv_trace::counter("reset", 1);
-            }
-            // Epoch-boundary telemetry: how far the persistent examples
-            // have drifted from clean (post-reset state on reset epochs).
-            if epoch != last_seen_epoch {
-                last_seen_epoch = epoch;
-                if simpadv_trace::enabled() && !simpadv_trace::events_suppressed() {
-                    emit_drift_telemetry(&adv_state, data.images(), epsilon);
+        run_epochs(
+            &self.id(),
+            clf,
+            data,
+            config,
+            session,
+            aux,
+            move |clf, opt, aux, epoch, idx, x, y| {
+                let TrainerAux::Proposed { adv: adv_state, last_reset_epoch } = aux else {
+                    unreachable!("proposed trainer always runs with Proposed aux state")
+                };
+                // Epoch-boundary reset (first batch of a reset epoch).
+                if epoch > *last_reset_epoch && epoch % reset_period == 0 {
+                    *adv_state = data.images().clone();
+                    *last_reset_epoch = epoch;
+                    simpadv_trace::counter("reset", 1);
                 }
-            }
-            // One large signed step from the carried-over examples,
-            // projected onto the ε-ball of the *clean* images. The step
-            // runs chunk-parallel on model replicas; credit the one
-            // batch-equivalent forward/backward pair back to `clf` so the
-            // per-epoch cost bookkeeping still matches FGSM-Adv.
-            let carried = adv_state.gather_rows(idx);
-            let adv =
-                signed_step_parallel(&Runtime::global(), &*clf, &carried, x, y, step, epsilon);
-            clf.credit_external_passes(1, 1);
-            crate::contracts::check_adv_batch(&adv, x, epsilon);
-            for (k, &i) in idx.iter().enumerate() {
-                adv_state.set_row(i, &adv.row(k));
-            }
-            train_on_mixture(clf, opt, x, &adv, y)
-        })
+                // Epoch-boundary telemetry: how far the persistent examples
+                // have drifted from clean (post-reset state on reset epochs).
+                if epoch != last_seen_epoch {
+                    last_seen_epoch = epoch;
+                    if simpadv_trace::enabled() && !simpadv_trace::events_suppressed() {
+                        emit_drift_telemetry(adv_state, data.images(), epsilon);
+                    }
+                }
+                // One large signed step from the carried-over examples,
+                // projected onto the ε-ball of the *clean* images. The step
+                // runs chunk-parallel on model replicas; credit the one
+                // batch-equivalent forward/backward pair back to `clf` so the
+                // per-epoch cost bookkeeping still matches FGSM-Adv.
+                let carried = adv_state.gather_rows(idx);
+                let adv =
+                    signed_step_parallel(&Runtime::global(), &*clf, &carried, x, y, step, epsilon);
+                clf.credit_external_passes(1, 1);
+                crate::contracts::check_adv_batch(&adv, x, epsilon);
+                for (k, &i) in idx.iter().enumerate() {
+                    adv_state.set_row(i, &adv.row(k));
+                }
+                train_on_mixture(clf, opt, x, &adv, y)
+            },
+        )
     }
 
     fn id(&self) -> String {

@@ -1,10 +1,11 @@
 //! Standard (undefended) training.
 
-use super::{run_epochs, Trainer};
+use super::{run_epochs, CheckpointSession, Trainer, TrainerAux};
 use crate::config::TrainConfig;
 use crate::report::TrainReport;
 use simpadv_data::Dataset;
 use simpadv_nn::Classifier;
+use simpadv_resilience::PersistError;
 
 /// Plain empirical-risk minimization on clean examples — the paper's
 /// "Vanilla classifier". Defenseless against any gradient attack; its
@@ -20,10 +21,22 @@ impl VanillaTrainer {
 }
 
 impl Trainer for VanillaTrainer {
-    fn train(&mut self, clf: &mut Classifier, data: &Dataset, config: &TrainConfig) -> TrainReport {
-        run_epochs(&self.id(), clf, data, config, |clf, opt, _epoch, _idx, x, y| {
-            clf.train_batch(x, y, opt)
-        })
+    fn train_resumable(
+        &mut self,
+        clf: &mut Classifier,
+        data: &Dataset,
+        config: &TrainConfig,
+        session: &mut CheckpointSession,
+    ) -> Result<TrainReport, PersistError> {
+        run_epochs(
+            &self.id(),
+            clf,
+            data,
+            config,
+            session,
+            TrainerAux::None,
+            |clf, opt, _aux, _epoch, _idx, x, y| clf.train_batch(x, y, opt),
+        )
     }
 
     fn id(&self) -> String {

@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 use simpadv::chart::render_accuracy_chart;
+use simpadv::train::{TrainState, TrainerAux, TRAIN_STATE_VERSION};
 use simpadv::{TrainConfig, TrainReport};
+use simpadv_nn::{OptimState, StateDict};
+use simpadv_tensor::Tensor;
 use simpadv_trace::SpanTiming;
 
 proptest! {
@@ -60,5 +63,84 @@ proptest! {
         // fixed frame: 11 data rows + axis + labels + legend
         prop_assert_eq!(art.lines().count(), 14);
         prop_assert!(art.contains("legend:"));
+    }
+
+    #[test]
+    fn train_state_round_trips_bitwise_through_json(
+        weights in prop::collection::vec(-10.0f32..10.0, 1..40),
+        adv in prop::collection::vec(0.0f32..1.0, 1..40),
+        epoch in 0usize..100,
+        rng_word in 1u64..u64::MAX,
+        last_reset in 0usize..100,
+    ) {
+        let state = TrainState {
+            version: TRAIN_STATE_VERSION,
+            trainer_id: "proposed".to_string(),
+            config: TrainConfig::new(epoch + 1, rng_word),
+            next_epoch: epoch,
+            rng: vec![rng_word, rng_word ^ 1, rng_word.rotate_left(7), 42],
+            data_crc: (rng_word & 0xFFFF_FFFF) as u32,
+            model: StateDict {
+                entries: vec![("w".to_string(), Tensor::from_slice(&weights))],
+            },
+            optim: OptimState {
+                groups: vec![vec![Tensor::from_slice(&weights)]],
+                step: epoch as u64,
+            },
+            report: TrainReport::new("proposed"),
+            aux: TrainerAux::Proposed {
+                adv: Tensor::from_slice(&adv),
+                last_reset_epoch: last_reset,
+            },
+        };
+        state.validate_finite().unwrap();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: TrainState = serde_json::from_str(&json).unwrap();
+        // PartialEq on f32 tensors is not enough for the bitwise-resume
+        // contract: compare the weight bits explicitly, then the rest.
+        let w_bits: Vec<u32> = weights.iter().map(|v| v.to_bits()).collect();
+        let back_bits: Vec<u32> =
+            back.model.entries[0].1.as_slice().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(w_bits, back_bits);
+        prop_assert_eq!(back, state);
+    }
+
+    #[test]
+    fn train_state_rejects_any_non_finite_weight(
+        weights in prop::collection::vec(-10.0f32..10.0, 2..40),
+        poison_seed in 0u64..u64::MAX,
+        kind in 0u8..3,
+    ) {
+        let mut poisoned = weights.clone();
+        let pos = (poison_seed % poisoned.len() as u64) as usize;
+        poisoned[pos] = match kind {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+        let state = TrainState {
+            version: TRAIN_STATE_VERSION,
+            trainer_id: "vanilla".to_string(),
+            config: TrainConfig::new(1, 0),
+            next_epoch: 0,
+            rng: vec![1, 2, 3, 4],
+            data_crc: 0,
+            model: StateDict {
+                entries: vec![("w".to_string(), Tensor::from_slice(&poisoned))],
+            },
+            optim: OptimState::default(),
+            report: TrainReport::new("vanilla"),
+            aux: TrainerAux::None,
+        };
+        prop_assert!(state.validate_finite().is_err());
+        // ... and the same poison in aux is caught independently
+        let state = TrainState {
+            model: StateDict {
+                entries: vec![("w".to_string(), Tensor::from_slice(&weights))],
+            },
+            aux: TrainerAux::Free { delta: Tensor::from_slice(&poisoned) },
+            ..state
+        };
+        prop_assert!(state.validate_finite().is_err());
     }
 }

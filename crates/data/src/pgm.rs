@@ -26,7 +26,9 @@ pub fn write_pgm<W: Write>(image: &Tensor, mut writer: W) -> io::Result<()> {
     writer.write_all(&bytes)
 }
 
-/// Writes an image to a `.pgm` file.
+/// Writes an image to a `.pgm` file, atomically: the bytes land in a
+/// temp file that is renamed into place, so a crash never leaves a
+/// half-written image behind.
 ///
 /// # Errors
 ///
@@ -36,8 +38,9 @@ pub fn write_pgm<W: Write>(image: &Tensor, mut writer: W) -> io::Result<()> {
 ///
 /// Panics if the tensor is not a flattened square image.
 pub fn save_pgm<P: AsRef<Path>>(image: &Tensor, path: P) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    write_pgm(image, io::BufWriter::new(file))
+    let mut buf = Vec::new();
+    write_pgm(image, &mut buf)?;
+    simpadv_resilience::atomic_write(path.as_ref(), &buf).map_err(io::Error::from)
 }
 
 #[cfg(test)]

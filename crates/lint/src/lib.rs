@@ -3,7 +3,7 @@
 //!
 //! The analyzer parses every `.rs` file in the workspace with a
 //! self-contained lexer (no external parser dependency — the build
-//! environment is offline) and enforces eight invariants the stack's
+//! environment is offline) and enforces nine invariants the stack's
 //! correctness rests on; see [`rules::RULES`] for the catalogue and
 //! `DESIGN.md` for the rationale behind each. Diagnostics are rendered
 //! rustc-style (`error[R3]: ... --> path:line`), optionally as JSON, and
@@ -69,6 +69,7 @@ fn classify(path: &str) -> (String, FileKind) {
                 "nn" => "simpadv-nn",
                 "data" => "simpadv-data",
                 "attacks" => "simpadv-attacks",
+                "resilience" => "simpadv-resilience",
                 "core" => "simpadv",
                 "cli" => "simpadv-cli",
                 "lint" => "simpadv-lint",
@@ -99,7 +100,7 @@ pub struct Workspace {
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Rule id (`R1`..`R8`).
+    /// Rule id (`R1`..`R9`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -259,6 +260,10 @@ mod tests {
         assert_eq!(
             classify("crates/trace/src/sink.rs"),
             ("simpadv-trace".to_string(), FileKind::Src)
+        );
+        assert_eq!(
+            classify("crates/resilience/src/atomic.rs"),
+            ("simpadv-resilience".to_string(), FileKind::Src)
         );
         assert_eq!(
             classify("crates/bench/src/bin/table1.rs"),

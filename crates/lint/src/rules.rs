@@ -1,4 +1,4 @@
-//! The eight invariant rules (R1–R8).
+//! The nine invariant rules (R1–R9).
 //!
 //! Each rule is a pure function from a [`Workspace`] to diagnostics. The
 //! rules are syntactic but token-accurate: comments and string literals
@@ -18,12 +18,13 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "simpadv-nn",
     "simpadv-data",
     "simpadv-attacks",
+    "simpadv-resilience",
     "simpadv",
 ];
 
 /// A rule's identity and entry point.
 pub struct Rule {
-    /// Stable id (`R1`..`R8`), referenced from `lint.toml`.
+    /// Stable id (`R1`..`R9`), referenced from `lint.toml`.
     pub id: &'static str,
     /// One-line summary shown by `--list`.
     pub summary: &'static str,
@@ -79,6 +80,12 @@ pub const RULES: &[Rule] = &[
         summary: "println!/eprintln! only in the cli, lint and bench crates and the \
                   trace sinks; library crates report through simpadv-trace events",
         check: rule_r8_print_containment,
+    },
+    Rule {
+        id: "R9",
+        summary: "File::create/fs::write only in crates/resilience (and the trace \
+                  sinks); durable output goes through the atomic-write protocol",
+        check: rule_r9_durable_writes,
     },
 ];
 
@@ -482,6 +489,66 @@ fn rule_r8_print_containment(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
+/// Crates R9 exempts: `simpadv-resilience` owns the atomic-write
+/// protocol, and the trace sinks write append-only event streams where a
+/// replace-on-close protocol would be wrong (a crashed run should keep
+/// the events it managed to emit).
+const DURABLE_WRITE_CRATES: &[&str] = &["simpadv-resilience", "simpadv-trace"];
+
+/// R9: durable-write containment.
+///
+/// A bare `File::create` (or `std::fs::write`) truncates in place: a
+/// crash mid-write leaves a torn file at the final path, which is exactly
+/// the failure mode the checkpoint subsystem exists to rule out. All
+/// artifact/model/checkpoint output must go through
+/// `simpadv_resilience::atomic_write` and friends.
+fn rule_r9_durable_writes(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Src || DURABLE_WRITE_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            if p.test_mask[i] {
+                continue;
+            }
+            let path_sep = p.is_punct(i + 1, ':') && p.is_punct(i + 2, ':');
+            if !path_sep {
+                continue;
+            }
+            match (p.ident(i), p.ident(i + 3)) {
+                (Some("File"), Some("create")) => {
+                    out.push(diag(
+                        "R9",
+                        file,
+                        p.line(i),
+                        "create",
+                        "`File::create` truncates in place; write durable output \
+                         through `simpadv_resilience::atomic_write` (temp file + \
+                         fsync + rename) so a crash never leaves a torn file"
+                            .to_string(),
+                    ));
+                }
+                (Some("fs"), Some("write")) => {
+                    out.push(diag(
+                        "R9",
+                        file,
+                        p.line(i),
+                        "write",
+                        "`fs::write` truncates in place; write durable output \
+                         through `simpadv_resilience::atomic_write` (temp file + \
+                         fsync + rename) so a crash never leaves a torn file"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -755,6 +822,38 @@ pub fn try_reshape(&self, s: &[usize]) -> Result<T, E> { inner(s) }
         let d = run("R8", &files);
         let items: Vec<&str> = d.iter().map(|d| d.item.as_str()).collect();
         assert_eq!(items, vec!["println", "eprintln"]);
+    }
+
+    // ---- R9 ----
+
+    #[test]
+    fn r9_fires_on_file_create_and_fs_write_in_src() {
+        let files = [
+            ("crates/bench/src/lib.rs", "fn f(p: &Path) { let file = std::fs::File::create(p); }"),
+            ("crates/cli/src/commands.rs", "fn g(p: &Path) { File::create(p); }"),
+            ("crates/data/src/pgm.rs", "fn h(p: &Path) { std::fs::write(p, b\"x\"); }"),
+        ];
+        let d = run("R9", &files);
+        let items: Vec<&str> = d.iter().map(|d| d.item.as_str()).collect();
+        assert_eq!(items, vec!["create", "create", "write"]);
+    }
+
+    #[test]
+    fn r9_allows_resilience_trace_tests_and_reads() {
+        let files = [
+            (
+                "crates/resilience/src/atomic.rs",
+                "pub fn atomic_write(p: &Path) { std::fs::File::create(p); }",
+            ),
+            ("crates/trace/src/lib.rs", "fn sink(p: &Path) { std::fs::File::create(p); }"),
+            ("crates/cli/src/commands.rs", "fn open(p: &Path) { std::fs::File::open(p); }"),
+            (
+                "crates/nn/src/serialize.rs",
+                "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::fs::write(\"x\", b\"y\").unwrap(); }\n}\n",
+            ),
+            ("crates/core/tests/resume.rs", "fn t(p: &Path) { std::fs::File::create(p); }"),
+        ];
+        assert!(run("R9", &files).is_empty());
     }
 
     #[test]

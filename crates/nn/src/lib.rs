@@ -60,6 +60,6 @@ pub use layers::{
 };
 pub use loss::{log_softmax, softmax, Loss, MseLoss, SoftmaxCrossEntropy};
 pub use metrics::{accuracy, accuracy_topk, confusion_matrix, ConfusionMatrix};
-pub use optim::{clip_grad_norm, AdaGrad, Adam, Optimizer, RmsProp, Sgd};
+pub use optim::{clip_grad_norm, AdaGrad, Adam, OptimState, Optimizer, RmsProp, Sgd};
 pub use schedule::{ConstantLr, CosineAnnealingLr, ExponentialDecayLr, LrSchedule, StepDecayLr};
 pub use serialize::{load_state_dict_json, save_state_dict_json, StateDict};

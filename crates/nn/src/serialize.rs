@@ -6,6 +6,7 @@
 //! thousands of parameters).
 
 use serde::{Deserialize, Serialize};
+use simpadv_resilience::PersistError;
 use simpadv_tensor::Tensor;
 use std::io::{Read, Write};
 
@@ -32,26 +33,48 @@ impl StateDict {
     pub fn restore(&self, layer: &mut dyn crate::Layer) {
         layer.load_state(&self.entries);
     }
+
+    /// Rejects dictionaries containing NaN or infinite values.
+    ///
+    /// Persisting a diverged model would poison every later resume, and
+    /// JSON renders non-finite floats as `null` (unreadable on load), so
+    /// both the save and the restore path call this.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NonFinite`] naming the first offending entry.
+    pub fn validate_finite(&self) -> Result<(), PersistError> {
+        for (name, tensor) in &self.entries {
+            if tensor.as_slice().iter().any(|v| !v.is_finite()) {
+                return Err(PersistError::NonFinite { name: name.clone() });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Writes a layer's state as JSON.
 ///
 /// # Errors
 ///
-/// Returns any underlying I/O or serialization error.
+/// [`PersistError::NonFinite`] when the state holds NaN/Inf,
+/// [`PersistError::Encode`] on serialization failure (which for the JSON
+/// backend always surfaces as an IO error from the writer).
 pub fn save_state_dict_json<W: Write>(
     layer: &dyn crate::Layer,
     writer: W,
-) -> Result<(), Box<dyn std::error::Error>> {
-    serde_json::to_writer(writer, &StateDict::capture(layer))?;
-    Ok(())
+) -> Result<(), PersistError> {
+    let dict = StateDict::capture(layer);
+    dict.validate_finite()?;
+    serde_json::to_writer(writer, &dict).map_err(|e| PersistError::Encode(e.to_string()))
 }
 
 /// Reads a JSON state dictionary and loads it into a layer.
 ///
 /// # Errors
 ///
-/// Returns any underlying I/O or deserialization error.
+/// [`PersistError::Decode`] when the stream is not a valid dictionary,
+/// [`PersistError::NonFinite`] when it parses but holds NaN/Inf.
 ///
 /// # Panics
 ///
@@ -60,8 +83,10 @@ pub fn save_state_dict_json<W: Write>(
 pub fn load_state_dict_json<R: Read>(
     layer: &mut dyn crate::Layer,
     reader: R,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let dict: StateDict = serde_json::from_reader(reader)?;
+) -> Result<(), PersistError> {
+    let dict: StateDict =
+        serde_json::from_reader(reader).map_err(|e| PersistError::Decode(e.to_string()))?;
+    dict.validate_finite()?;
     dict.restore(layer);
     Ok(())
 }
@@ -117,6 +142,27 @@ mod tests {
     fn corrupt_json_is_an_error() {
         let mut n = net(5);
         let res = load_state_dict_json(&mut n, &b"not json"[..]);
-        assert!(res.is_err());
+        assert!(matches!(res, Err(PersistError::Decode(_))));
+    }
+
+    #[test]
+    fn non_finite_state_is_rejected_on_save() {
+        let mut a = net(6);
+        let mut state = a.state();
+        state[0].1.as_mut_slice()[0] = f32::NAN;
+        a.load_state(&state);
+        let res = save_state_dict_json(&a, Vec::new());
+        assert!(matches!(res, Err(PersistError::NonFinite { .. })), "{res:?}");
+    }
+
+    #[test]
+    fn validate_finite_names_the_offender() {
+        let mut dict = StateDict::capture(&net(7));
+        dict.entries[2].1.as_mut_slice()[0] = f32::INFINITY;
+        let name = dict.entries[2].0.clone();
+        match dict.validate_finite() {
+            Err(PersistError::NonFinite { name: n }) => assert_eq!(n, name),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,200 @@
+//! Failpoints: deterministic fault injection at named IO sites.
+//!
+//! The atomic-write path consults this registry at five fixed sites; a
+//! test (or the `SIMPADV_FAILPOINTS` environment variable) can arm any
+//! site with an action:
+//!
+//! | action    | effect at the site                                    |
+//! |-----------|-------------------------------------------------------|
+//! | `error`   | the operation fails with [`PersistError::Injected`]   |
+//! | `short:N` | only the first `N` payload bytes are written (silent) |
+//! | `flip:N`  | bit 0 of payload byte `N % len` is flipped (silent)   |
+//!
+//! Env syntax: `SIMPADV_FAILPOINTS=site=action[*count],site=action...`
+//! where the optional `*count` disarms the site after it has fired that
+//! many times (default: fires every time until cleared). Example:
+//!
+//! ```text
+//! SIMPADV_FAILPOINTS=pre-rename=error*1,corrupt=flip:7
+//! ```
+//!
+//! [`PersistError::Injected`]: crate::PersistError::Injected
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The IO sites the atomic-write path exposes, in execution order.
+///
+/// * `pre-write` — before the temp file is created (nothing on disk yet)
+/// * `mid-write` — while the payload streams into the temp file
+/// * `pre-rename` — temp file durable, final name not yet updated
+/// * `post-rename` — final name updated, retention not yet run
+/// * `corrupt` — silent payload damage before the bytes leave memory
+pub const SITES: [&str; 5] = ["pre-write", "mid-write", "pre-rename", "post-rename", "corrupt"];
+
+/// What an armed failpoint does when its site is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Fail the operation with [`crate::PersistError::Injected`].
+    Error,
+    /// Write only the first `N` bytes of the payload, then carry on as if
+    /// the write succeeded (simulates a torn write reaching the final
+    /// file through a non-atomic path).
+    Short(usize),
+    /// Flip bit 0 of payload byte `N % len` before writing (simulates
+    /// silent media corruption).
+    Flip(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    action: Action,
+    /// `None` fires forever; `Some(n)` disarms after `n` firings.
+    remaining: Option<u32>,
+}
+
+fn registry() -> MutexGuard<'static, HashMap<String, Arm>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Arm>>> = OnceLock::new();
+    let lock = REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("SIMPADV_FAILPOINTS") {
+            // Environment damage is a test-harness configuration error;
+            // report it loudly on the error stream but do not panic (the
+            // registry lives in library code).
+            if let Err(bad) = parse_spec_into(&spec, &mut map) {
+                simpadv_trace::counter_with(
+                    "resilience/failpoint_env_rejected",
+                    1,
+                    &[("spec", simpadv_trace::FieldValue::from(bad.as_str()))],
+                );
+                map.clear();
+            }
+        }
+        Mutex::new(map)
+    });
+    lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn parse_action(spec: &str) -> Option<Action> {
+    if spec == "error" {
+        return Some(Action::Error);
+    }
+    if let Some(n) = spec.strip_prefix("short:") {
+        return n.parse().ok().map(Action::Short);
+    }
+    if let Some(n) = spec.strip_prefix("flip:") {
+        return n.parse().ok().map(Action::Flip);
+    }
+    None
+}
+
+fn parse_spec_into(spec: &str, map: &mut HashMap<String, Arm>) -> Result<(), String> {
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (site, action_spec) = part.split_once('=').ok_or_else(|| part.to_string())?;
+        if !SITES.contains(&site) {
+            return Err(part.to_string());
+        }
+        let (action_spec, remaining) = match action_spec.split_once('*') {
+            Some((a, n)) => (a, Some(n.parse::<u32>().map_err(|_| part.to_string())?)),
+            None => (action_spec, None),
+        };
+        let action = parse_action(action_spec).ok_or_else(|| part.to_string())?;
+        map.insert(site.to_string(), Arm { action, remaining });
+    }
+    Ok(())
+}
+
+/// Arms `site` with `action_spec` (e.g. `"error"`, `"short:12"`,
+/// `"flip:3"`, `"error*1"`). Replaces any previous arm for the site.
+///
+/// # Errors
+///
+/// Returns the rejected fragment when the site is unknown or the action
+/// spec does not parse.
+pub fn arm(site: &str, action_spec: &str) -> Result<(), String> {
+    let mut map = HashMap::new();
+    parse_spec_into(&format!("{site}={action_spec}"), &mut map)?;
+    registry().extend(map);
+    Ok(())
+}
+
+/// Disarms `site`; a no-op when it was not armed.
+pub fn disarm(site: &str) {
+    registry().remove(site);
+}
+
+/// Disarms every site.
+pub fn disarm_all() {
+    registry().clear();
+}
+
+/// The sites every fault-matrix test should iterate over.
+pub fn registered_sites() -> &'static [&'static str] {
+    &SITES
+}
+
+/// Consulted by the IO path: returns the action to apply at `site`, if
+/// armed, decrementing a bounded fire count.
+pub(crate) fn hit(site: &str) -> Option<Action> {
+    let mut map = registry();
+    let arm = map.get_mut(site)?;
+    let action = arm.action;
+    match &mut arm.remaining {
+        None => {}
+        Some(0) => return None,
+        Some(n) => {
+            *n -= 1;
+            if *n == 0 {
+                map.remove(site);
+            }
+        }
+    }
+    simpadv_trace::counter_with(
+        "resilience/failpoint_fired",
+        1,
+        &[("site", simpadv_trace::FieldValue::from(site))],
+    );
+    Some(action)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_hit_disarm_cycle() {
+        disarm_all();
+        assert_eq!(hit("pre-write"), None);
+        arm("pre-write", "error").unwrap();
+        assert_eq!(hit("pre-write"), Some(Action::Error));
+        assert_eq!(hit("pre-write"), Some(Action::Error), "unbounded arms persist");
+        disarm("pre-write");
+        assert_eq!(hit("pre-write"), None);
+    }
+
+    #[test]
+    fn bounded_arm_expires() {
+        disarm_all();
+        arm("mid-write", "short:4*2").unwrap();
+        assert_eq!(hit("mid-write"), Some(Action::Short(4)));
+        assert_eq!(hit("mid-write"), Some(Action::Short(4)));
+        assert_eq!(hit("mid-write"), None, "fire count exhausted");
+    }
+
+    #[test]
+    fn rejects_unknown_sites_and_actions() {
+        assert!(arm("no-such-site", "error").is_err());
+        assert!(arm("pre-write", "explode").is_err());
+        assert!(arm("pre-write", "short:x").is_err());
+        assert!(arm("pre-write", "error*x").is_err());
+    }
+
+    #[test]
+    fn spec_parser_handles_lists() {
+        let mut map = HashMap::new();
+        parse_spec_into("pre-rename=error*1, corrupt=flip:7", &mut map).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["corrupt"].action, Action::Flip(7));
+        assert_eq!(map["pre-rename"].remaining, Some(1));
+    }
+}

@@ -1,0 +1,31 @@
+//! `SIMPADV_FAILPOINTS` environment smoke: CI runs this binary with
+//! `SIMPADV_FAILPOINTS=pre-write=error` and the write must fail with the
+//! injected error; under a plain `cargo test` (no variable) the same
+//! write must succeed. The registry snapshots the variable on first use,
+//! so this lives in its own test binary where that first use is here.
+
+use simpadv_resilience::{atomic_write, PersistError};
+
+#[test]
+fn env_armed_failpoint_governs_the_write_path() {
+    let dir = std::env::temp_dir().join("simpadv-env-failpoint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.bin");
+    // The temp dir outlives the process; a prior unarmed run's output
+    // must not satisfy (or trip) this run's assertions.
+    let _ = std::fs::remove_file(&path);
+    let armed = std::env::var("SIMPADV_FAILPOINTS")
+        .map(|spec| spec.contains("pre-write=error"))
+        .unwrap_or(false);
+    let result = atomic_write(&path, b"payload");
+    if armed {
+        assert!(
+            matches!(result, Err(PersistError::Injected { ref site }) if site == "pre-write"),
+            "env-armed pre-write must inject: {result:?}"
+        );
+        assert!(!path.exists(), "nothing may reach the final path");
+    } else {
+        result.unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+    }
+}

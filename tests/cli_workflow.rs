@@ -29,8 +29,8 @@ fn generate_train_evaluate_attack_workflow() {
     .unwrap();
     assert!(text.contains("training proposed"));
 
-    // checkpoint is a valid SavedModel with metadata
-    let saved = SavedModel::load(std::fs::File::open(&model_path).unwrap()).unwrap();
+    // the written model is a valid sealed SavedModel with metadata
+    let saved = SavedModel::load_from(&model_path).unwrap();
     assert_eq!(saved.trained_on, "mnist");
     assert_eq!(saved.method, "proposed");
 
