@@ -9,12 +9,12 @@ use simpadv::train::{ProposedTrainer, Trainer};
 use simpadv::{ModelSpec, TrainConfig};
 use simpadv_attacks::parallel::craft_parallel;
 use simpadv_attacks::Bim;
-use simpadv_bench::{write_artifact, BenchOpts};
+use simpadv_bench::{baseline::run_with_baseline, write_artifact, BenchOpts};
 use simpadv_data::SynthDataset;
 use simpadv_nn::Classifier;
 use simpadv_runtime::{available_threads, set_global_threads, Runtime};
 use simpadv_tensor::Tensor;
-use std::time::Instant;
+use simpadv_trace::clock::WallTimer;
 
 /// Epochs per timed training run (each run re-trains from the same seed).
 const TIMED_EPOCHS: usize = 3;
@@ -51,9 +51,9 @@ fn time_training(scale: &ExperimentScale, data: &simpadv_data::Dataset) -> (f64,
 /// Times BIM(10) batch crafting; returns (examples/s, output checksum bits).
 fn time_crafting(model: &Classifier, x: &Tensor, y: &[usize]) -> (f64, u64) {
     let rt = Runtime::global();
-    let start = Instant::now();
+    let start = WallTimer::start();
     let adv = craft_parallel(&rt, model, &|_| Box::new(Bim::new(0.3, 10)), x, y);
-    let rate = y.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    let rate = y.len() as f64 / start.elapsed_seconds().max(1e-9);
     let checksum =
         adv.as_slice().iter().fold(0u64, |h, v| h.rotate_left(5) ^ u64::from(v.to_bits()));
     (rate, checksum)
@@ -64,22 +64,15 @@ fn time_matmul() -> f64 {
     let a = Tensor::full(&[512, 784], 0.5);
     let b = Tensor::full(&[784, 256], 0.25);
     let macs = (512 * 784 * 256 * MATMUL_REPS) as f64;
-    let start = Instant::now();
+    let start = WallTimer::start();
     for _ in 0..MATMUL_REPS {
         let c = a.matmul(&b);
         std::hint::black_box(&c);
     }
-    macs / start.elapsed().as_secs_f64().max(1e-9) / 1e9
+    macs / start.elapsed_seconds().max(1e-9) / 1e9
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = BenchOpts::from_args(&args);
-    opts.apply(); // thread count is re-set per measured point below
-    let scale = opts.scale;
-    let threads_override = opts.threads;
-    eprintln!("runtime scaling at scale {scale:?}");
-
+fn measure(scale: &ExperimentScale, threads_override: Option<usize>) -> ScalingReport {
     let (train, test) = scale.load(SynthDataset::Mnist);
     let craft_model = ModelSpec::default_mlp().build(scale.seed);
     let craft_x = test.images().clone();
@@ -101,7 +94,7 @@ fn main() {
         set_global_threads(threads);
         let gmacs = time_matmul();
         let (craft_rate, checksum) = time_crafting(&craft_model, &craft_x, &craft_y);
-        let (epochs_per_s, bits) = time_training(&scale, &train);
+        let (epochs_per_s, bits) = time_training(scale, &train);
         if threads == 1 {
             serial_epochs_per_s = epochs_per_s;
         }
@@ -130,17 +123,39 @@ fn main() {
     );
     assert!(bitwise_identical, "thread counts disagreed — determinism contract broken");
 
-    let report = ScalingReport {
+    ScalingReport {
         train_samples: scale.train_samples,
         test_samples: scale.test_samples,
         timed_epochs: TIMED_EPOCHS,
         available_threads: all,
         bitwise_identical,
         points,
-    };
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = BenchOpts::from_args(&args);
+    opts.apply(); // thread count is re-set per measured point below
+    let scale = opts.scale;
+    let threads_override = opts.threads;
+    eprintln!("runtime scaling at scale {scale:?}");
+
+    // This bin measures wall throughput, not accuracies: the baseline
+    // artifact carries the trace counters and wall stats only.
+    let (report, baseline_path) = run_with_baseline(
+        &opts,
+        "runtime_scaling",
+        |_| Vec::new(),
+        || measure(&scale, threads_override),
+    )?;
     match write_artifact("runtime_scaling.json", &report) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("artifact write failed: {e}"),
     }
+    if let Some(path) = baseline_path {
+        eprintln!("wrote baseline {}", path.display());
+    }
     opts.finish();
+    Ok(())
 }

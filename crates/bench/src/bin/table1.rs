@@ -2,20 +2,37 @@
 //! Original / FGSM / BIM(10) / BIM(30) inputs for both datasets, plus
 //! training cost per epoch.
 
-use simpadv::experiments::table1;
-use simpadv_bench::{write_artifact, BenchOpts};
+use simpadv::experiments::table1::{self, Table1Result};
+use simpadv_bench::{baseline::run_with_baseline, write_artifact, BenchOpts};
 
-fn main() {
+fn accuracies(result: &Table1Result) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for row in &result.rows {
+        for (ds, eval) in &row.evals {
+            for (col, acc) in eval.columns.iter().zip(&eval.accuracies) {
+                out.push((format!("{ds}/{}/{col}", row.method), f64::from(*acc)));
+            }
+        }
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = BenchOpts::from_args(&args);
     opts.apply();
     let scale = opts.scale;
     eprintln!("table 1 at scale {scale:?}");
-    let result = table1::run(&scale);
+    let (result, baseline_path) =
+        run_with_baseline(&opts, "table1", accuracies, || table1::run(&scale))?;
     println!("{result}");
     match write_artifact("table1.json", &result) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),
     }
+    if let Some(path) = baseline_path {
+        eprintln!("wrote baseline {}", path.display());
+    }
     opts.finish();
+    Ok(())
 }

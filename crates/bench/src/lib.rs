@@ -17,6 +17,8 @@
 use simpadv::experiments::ExperimentScale;
 use simpadv_trace::TraceFormat;
 
+pub mod baseline;
+
 /// The common CLI of the regeneration binaries: workload scale, thread
 /// override, trace destination, and crash-safe checkpointing.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +43,13 @@ pub struct BenchOpts {
     /// `--resume`: continue each training run from its newest valid
     /// snapshot; bitwise identical to an uninterrupted run.
     pub resume: bool,
+    /// `--baseline`: run under an in-memory trace and emit a
+    /// `BENCH_<experiment>.json` benchmark-baseline artifact at the
+    /// repository root (see `simpadv_obs::baseline`).
+    pub baseline: bool,
+    /// `--repeat N` (default 1, baseline mode only): repetitions behind
+    /// the artifact's wall median/min/max statistics.
+    pub repeat: usize,
 }
 
 impl BenchOpts {
@@ -48,9 +57,9 @@ impl BenchOpts {
     ///
     /// Recognized: `--full`, `--smoke`, `--quick` (default: quick),
     /// `--threads N`, `--trace FILE`, `--trace-format jsonl|pretty`,
-    /// `--checkpoint-dir DIR`, `--checkpoint-every N` and `--resume`.
-    /// Unknown flags or missing/invalid values abort with a usage
-    /// message.
+    /// `--checkpoint-dir DIR`, `--checkpoint-every N`, `--resume`,
+    /// `--baseline` and `--repeat N`. Unknown flags or missing/invalid
+    /// values abort with a usage message.
     pub fn from_args(args: &[String]) -> Self {
         let mut opts = BenchOpts {
             scale: ExperimentScale::quick(),
@@ -60,6 +69,8 @@ impl BenchOpts {
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
+            baseline: false,
+            repeat: 1,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -103,11 +114,19 @@ impl BenchOpts {
                     }
                 },
                 "--resume" => opts.resume = true,
+                "--baseline" => opts.baseline = true,
+                "--repeat" => match it.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n > 0 => opts.repeat = n,
+                    _ => {
+                        eprintln!("--repeat needs a positive integer value");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
                     eprintln!(
                         "unknown flag {other}; use --smoke | --quick | --full | --threads N \
                          | --trace FILE | --trace-format jsonl|pretty | --checkpoint-dir DIR \
-                         | --checkpoint-every N | --resume"
+                         | --checkpoint-every N | --resume | --baseline | --repeat N"
                     );
                     std::process::exit(2);
                 }
@@ -115,6 +134,14 @@ impl BenchOpts {
         }
         if opts.resume && opts.checkpoint_dir.is_none() {
             eprintln!("--resume requires --checkpoint-dir");
+            std::process::exit(2);
+        }
+        if opts.repeat > 1 && !opts.baseline {
+            eprintln!("--repeat only makes sense with --baseline");
+            std::process::exit(2);
+        }
+        if opts.baseline && opts.trace_format == TraceFormat::Pretty {
+            eprintln!("--baseline records traces in jsonl; --trace-format pretty is unsupported");
             std::process::exit(2);
         }
         opts
@@ -130,11 +157,20 @@ impl BenchOpts {
             simpadv_runtime::set_global_threads(n);
         }
         if let Some(path) = &self.trace {
+            // In baseline mode the runner records through an in-memory
+            // sink and writes the jsonl dump itself (atomically).
+            if self.baseline {
+                return self.apply_policy();
+            }
             if let Err(e) = simpadv_trace::install_file(path, self.trace_format) {
                 eprintln!("cannot open trace file {}: {e}", path.display());
                 std::process::exit(2);
             }
         }
+        self.apply_policy();
+    }
+
+    fn apply_policy(&self) {
         simpadv::train::set_checkpoint_policy(self.checkpoint_dir.as_ref().map(|dir| {
             simpadv::train::CheckpointPolicy {
                 dir: dir.clone(),

@@ -50,6 +50,12 @@ impl From<PersistError> for CliError {
     }
 }
 
+impl From<simpadv_obs::ObsError> for CliError {
+    fn from(e: simpadv_obs::ObsError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Usage text printed by `help` and on argument errors.
 pub const USAGE: &str = "\
 simpadv — simplified adversarial training (Liu et al., 2019 reproduction)
@@ -71,6 +77,20 @@ COMMANDS
             attacks: noise fgsm llfgsm bim10 bim30 pgd10 mim10 fgml2 pgdl2
   trace summarize FILE
             fold a JSONL trace into per-span aggregate timings
+  trace flame FILE [--weight wall|flops|work|attack-steps] [--out FILE]
+            emit an inferno-compatible collapsed-stack flamegraph
+  trace top FILE [--by self-wall|total-wall|self-work|total-work|
+            self-flops|total-flops] [--limit N]
+            rank span paths by self/total cost attribution
+  trace diff A B [--wall-threshold PCT]
+            compare two traces: logical content must be identical
+            (non-zero exit otherwise); wall drift beyond the threshold
+            (default 25%) is only warned about
+  bench compare BASELINE CANDIDATE [--wall-threshold PCT]
+            [--accuracy-tolerance T]
+            compare two BENCH_<experiment>.json artifacts; logical
+            regressions exit non-zero, wall drift warns (the CI perf
+            gate)
   help
 
 GLOBAL OPTIONS
@@ -90,7 +110,7 @@ GLOBAL OPTIONS
 /// Returns [`CliError`] on unknown commands, bad options or I/O failures.
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     apply_threads(args)?;
-    if args.command != "trace" {
+    if args.command != "trace" && args.command != "bench" {
         args.expect_no_positionals()?;
     }
     let tracing = apply_trace(args)?;
@@ -100,6 +120,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "evaluate" => cmd_evaluate(args, out),
         "attack" => cmd_attack(args, out),
         "trace" => cmd_trace(args, out),
+        "bench" => cmd_bench(args, out),
         "help" => writeln!(out, "{USAGE}").map_err(CliError::from),
         other => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
     };
@@ -328,25 +349,148 @@ fn cmd_attack<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Reads and strictly parses a JSONL trace, mapping I/O and schema
+/// problems (including a torn final line) to [`CliError`].
+fn read_trace_events(path: &str) -> Result<Vec<simpadv_trace::Event>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read trace file {path}: {e}")))?;
+    Ok(simpadv_obs::read_events(&text)?)
+}
+
+/// The single positional FILE of `trace summarize|flame|top`.
+fn one_file<'a>(args: &'a Args, action: &str) -> Result<&'a str, CliError> {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| CliError(format!("trace {action} needs a FILE argument")))?;
+    if args.positional(2).is_some() {
+        return Err(CliError(format!("trace {action} takes exactly one FILE")));
+    }
+    Ok(path)
+}
+
 fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    args.expect_only(&["threads", "trace", "trace-format"])?;
+    args.expect_only(&[
+        "threads",
+        "trace",
+        "trace-format",
+        "weight",
+        "out",
+        "by",
+        "limit",
+        "wall-threshold",
+    ])?;
     match args.positional(0) {
         Some("summarize") => {
-            let path = args
-                .positional(1)
-                .ok_or_else(|| CliError("trace summarize needs a FILE argument".into()))?;
-            if args.positional(2).is_some() {
-                return Err(CliError("trace summarize takes exactly one FILE".into()));
+            let events = read_trace_events(one_file(args, "summarize")?)?;
+            let mut summary = simpadv_trace::Summary::default();
+            for event in &events {
+                summary.fold(event);
             }
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError(format!("cannot read trace file {path}: {e}")))?;
-            let summary =
-                simpadv_trace::Summary::from_jsonl(&text).map_err(|e| CliError(e.to_string()))?;
             write!(out, "{}", summary.render())?;
             Ok(())
         }
-        Some(other) => Err(CliError(format!("unknown trace action '{other}' (summarize)"))),
-        None => Err(CliError("usage: trace summarize FILE".into())),
+        Some("flame") => {
+            let path = one_file(args, "flame")?;
+            let tree = simpadv_obs::build_tree(&read_trace_events(path)?)?;
+            let name = args.get_or("weight", "wall");
+            let weight = simpadv_obs::FlameWeight::parse(name).ok_or_else(|| {
+                CliError(format!("unknown weight '{name}' (wall|flops|work|attack-steps)"))
+            })?;
+            let text = simpadv_obs::render_collapsed(&simpadv_obs::collapse(&tree, weight));
+            if let Ok(dest) = args.require("out") {
+                simpadv_resilience::atomic_write(std::path::Path::new(dest), text.as_bytes())
+                    .map_err(|e| CliError(format!("cannot write {dest}: {e}")))?;
+                writeln!(out, "wrote {dest}")?;
+            } else {
+                write!(out, "{text}")?;
+            }
+            Ok(())
+        }
+        Some("top") => {
+            let path = one_file(args, "top")?;
+            let tree = simpadv_obs::build_tree(&read_trace_events(path)?)?;
+            let name = args.get_or("by", "self-wall");
+            let by = simpadv_obs::TopBy::parse(name).ok_or_else(|| {
+                CliError(format!(
+                    "unknown ranking '{name}' (self-wall|total-wall|self-work|total-work\
+                     |self-flops|total-flops)"
+                ))
+            })?;
+            let limit = args.get_num("limit", 20usize)?;
+            write!(out, "{}", simpadv_obs::render_top(&simpadv_obs::hot_spots(&tree, by, limit)))?;
+            Ok(())
+        }
+        Some("diff") => {
+            let (Some(path_a), Some(path_b)) = (args.positional(1), args.positional(2)) else {
+                return Err(CliError("trace diff needs two FILE arguments".into()));
+            };
+            if args.positional(3).is_some() {
+                return Err(CliError("trace diff takes exactly two FILEs".into()));
+            }
+            let (a, b) = (read_trace_events(path_a)?, read_trace_events(path_b)?);
+            let opts = simpadv_obs::DiffOptions {
+                wall_threshold_pct: args.get_num("wall-threshold", 25.0f64)?,
+                ..simpadv_obs::DiffOptions::default()
+            };
+            let report = simpadv_obs::diff(&a, &b, &opts);
+            write!(out, "{}", report.render())?;
+            if report.logically_identical() {
+                Ok(())
+            } else {
+                Err(CliError(format!(
+                    "trace diff: {} logical difference(s) between {path_a} and {path_b}",
+                    report.logical_total
+                )))
+            }
+        }
+        Some(other) => {
+            Err(CliError(format!("unknown trace action '{other}' (summarize|flame|top|diff)")))
+        }
+        None => Err(CliError("usage: trace summarize|flame|top|diff ...".into())),
+    }
+}
+
+fn cmd_bench<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&[
+        "threads",
+        "trace",
+        "trace-format",
+        "wall-threshold",
+        "accuracy-tolerance",
+    ])?;
+    match args.positional(0) {
+        Some("compare") => {
+            let (Some(base_path), Some(cand_path)) = (args.positional(1), args.positional(2))
+            else {
+                return Err(CliError("bench compare needs BASELINE and CANDIDATE files".into()));
+            };
+            if args.positional(3).is_some() {
+                return Err(CliError("bench compare takes exactly two files".into()));
+            }
+            let read = |path: &str| -> Result<simpadv_obs::BenchArtifact, CliError> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("cannot read artifact {path}: {e}")))?;
+                serde_json::from_str(&text)
+                    .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))
+            };
+            let (baseline, candidate) = (read(base_path)?, read(cand_path)?);
+            let opts = simpadv_obs::CompareOptions {
+                wall_threshold_pct: args.get_num("wall-threshold", 25.0f64)?,
+                accuracy_tolerance: args.get_num("accuracy-tolerance", 1e-6f64)?,
+            };
+            let report = simpadv_obs::compare(&baseline, &candidate, &opts);
+            write!(out, "{}", report.render())?;
+            if report.passed() {
+                Ok(())
+            } else {
+                Err(CliError(format!(
+                    "bench compare: {} logical regression(s) vs {base_path}",
+                    report.regressions.len()
+                )))
+            }
+        }
+        Some(other) => Err(CliError(format!("unknown bench action '{other}' (compare)"))),
+        None => Err(CliError("usage: bench compare BASELINE CANDIDATE".into())),
     }
 }
 
@@ -525,6 +669,154 @@ mod tests {
         .unwrap_err()
         .to_string()
         .contains("unknown --resume mode"));
+    }
+
+    fn trace_line(
+        seq: u64,
+        kind: simpadv_trace::EventKind,
+        path: &str,
+        flops: u64,
+        wall: u64,
+    ) -> String {
+        use simpadv_trace::{EventKind, FieldValue};
+        let (fields, meta) = if kind == EventKind::SpanClose {
+            (
+                vec![("flops".to_string(), FieldValue::U64(flops))],
+                vec![("wall_us".to_string(), FieldValue::U64(wall))],
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        simpadv_trace::Event { seq, kind, path: path.to_string(), fields, meta }.to_json_line()
+    }
+
+    /// A balanced two-epoch trace: train(6000us) > 2x epoch(2000+3000us).
+    fn balanced_trace() -> String {
+        use simpadv_trace::EventKind::{SpanClose, SpanOpen};
+        [
+            trace_line(0, SpanOpen, "train", 0, 0),
+            trace_line(1, SpanOpen, "train/epoch", 0, 0),
+            trace_line(2, SpanClose, "train/epoch", 100, 2000),
+            trace_line(3, SpanOpen, "train/epoch", 0, 0),
+            trace_line(4, SpanClose, "train/epoch", 200, 3000),
+            trace_line(5, SpanClose, "train", 300, 6000),
+        ]
+        .join("\n")
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("simpadv-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn trace_tools_degrade_into_typed_errors_not_panics() {
+        let empty = write_temp("empty.jsonl", "");
+        let truncated = write_temp(
+            "truncated.jsonl",
+            &format!("{}\n{{\"seq\":1,\"ki", balanced_trace().lines().next().unwrap()),
+        );
+        let unbalanced = write_temp(
+            "unbalanced.jsonl",
+            &trace_line(0, simpadv_trace::EventKind::SpanOpen, "train", 0, 0),
+        );
+
+        // empty: summarize and diff are fine, tree builders refuse
+        assert!(run_line(&format!("trace summarize {empty}")).unwrap().contains("0 events"));
+        assert!(run_line(&format!("trace diff {empty} {empty}")).is_ok());
+        for action in ["flame", "top"] {
+            let err = run_line(&format!("trace {action} {empty}")).unwrap_err();
+            assert!(err.to_string().contains("empty"), "{action}: {err}");
+        }
+
+        // torn final line: every tool reports it, none panics
+        for cmd in [
+            format!("trace summarize {truncated}"),
+            format!("trace flame {truncated}"),
+            format!("trace top {truncated}"),
+            format!("trace diff {truncated} {truncated}"),
+        ] {
+            let err = run_line(&cmd).unwrap_err();
+            assert!(err.to_string().contains("truncated"), "{cmd}: {err}");
+        }
+
+        // unbalanced span pairs: flat folds tolerate, tree builders refuse
+        assert!(run_line(&format!("trace summarize {unbalanced}")).is_ok());
+        assert!(run_line(&format!("trace diff {unbalanced} {unbalanced}")).is_ok());
+        let err = run_line(&format!("trace flame {unbalanced}")).unwrap_err();
+        assert!(err.to_string().contains("still open"), "{err}");
+    }
+
+    #[test]
+    fn flame_root_weights_match_summarize_totals() {
+        let trace = write_temp("balanced.jsonl", &balanced_trace());
+        let folded = run_line(&format!("trace flame {trace}")).unwrap();
+        assert!(!folded.trim().is_empty());
+        let totals = simpadv_obs::prefix_totals(&simpadv_obs::parse_collapsed(&folded).unwrap());
+        assert_eq!(totals["train"], 6000);
+        assert_eq!(totals["train;epoch"], 5000);
+
+        let summary = run_line(&format!("trace summarize {trace}")).unwrap();
+        assert!(summary.contains("6.000"), "train total_ms:\n{summary}");
+        assert!(summary.contains("5.000"), "train/epoch total_ms:\n{summary}");
+
+        // the hot-spot table ranks epoch above train on self wall
+        let top = run_line(&format!("trace top {trace} --by self-wall --limit 1")).unwrap();
+        assert!(top.contains("train/epoch"));
+        // weight and ranking names are validated
+        assert!(run_line(&format!("trace flame {trace} --weight bogus")).is_err());
+        assert!(run_line(&format!("trace top {trace} --by bogus")).is_err());
+    }
+
+    #[test]
+    fn trace_diff_gates_on_logical_content_only() {
+        let a = write_temp("diff-a.jsonl", &balanced_trace());
+        // wall drift only: passes with warnings at most
+        let b = write_temp("diff-b.jsonl", &balanced_trace().replace("6000", "9000"));
+        assert!(run_line(&format!("trace diff {a} {b}")).is_ok());
+        let relaxed = run_line(&format!("trace diff {a} {b} --wall-threshold 1000")).unwrap();
+        assert!(relaxed.contains("within threshold"));
+        // logical flops change: non-zero exit naming the count
+        let c =
+            write_temp("diff-c.jsonl", &balanced_trace().replace("\"flops\":300", "\"flops\":301"));
+        let err = run_line(&format!("trace diff {a} {c}")).unwrap_err();
+        assert!(err.to_string().contains("1 logical difference"), "{err}");
+    }
+
+    #[test]
+    fn bench_compare_gates_on_planted_logical_regression() {
+        let events = simpadv_obs::read_events(&balanced_trace()).unwrap();
+        let tree = simpadv_obs::build_tree(&events).unwrap();
+        let artifact = simpadv_obs::BenchArtifact {
+            schema_version: simpadv_obs::BENCH_SCHEMA_VERSION,
+            experiment: "table1".into(),
+            scale: simpadv_obs::ScaleInfo {
+                train_samples: 200,
+                test_samples: 100,
+                epochs: 6,
+                seed: 2019,
+            },
+            trainers: simpadv_obs::baseline::trainer_costs(&tree),
+            accuracies: vec![("mnist/proposed/original".into(), 0.875)],
+            events: events.len() as u64,
+            trace_digest: simpadv_obs::logical_digest(&events),
+            meta: simpadv_obs::BenchMeta::default(),
+        };
+        let base = write_temp("bench-base.json", &serde_json::to_string(&artifact).unwrap());
+        assert!(run_line(&format!("bench compare {base} {base}")).is_ok());
+
+        // plant a logical flops regression in the candidate
+        let mut planted = artifact.clone();
+        planted.trainers[0].flops += 1;
+        let cand = write_temp("bench-cand.json", &serde_json::to_string(&planted).unwrap());
+        let err = run_line(&format!("bench compare {base} {cand}")).unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+        assert!(run_line(&format!("bench compare {base} bogus.json")).is_err());
+        assert!(run_line("bench compare only-one.json").is_err());
+        assert!(run_line("bench frobnicate").is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! The analyzer parses every `.rs` file in the workspace with a
 //! self-contained lexer (no external parser dependency — the build
-//! environment is offline) and enforces nine invariants the stack's
+//! environment is offline) and enforces ten invariants the stack's
 //! correctness rests on; see [`rules::RULES`] for the catalogue and
 //! `DESIGN.md` for the rationale behind each. Diagnostics are rendered
 //! rustc-style (`error[R3]: ... --> path:line`), optionally as JSON, and
@@ -64,6 +64,7 @@ fn classify(path: &str) -> (String, FileKind) {
         if parts.first() == Some(&"crates") && parts.len() > 2 {
             let pkg = match parts[1] {
                 "trace" => "simpadv-trace",
+                "obs" => "simpadv-obs",
                 "runtime" => "simpadv-runtime",
                 "tensor" => "simpadv-tensor",
                 "nn" => "simpadv-nn",
@@ -261,6 +262,7 @@ mod tests {
             classify("crates/trace/src/sink.rs"),
             ("simpadv-trace".to_string(), FileKind::Src)
         );
+        assert_eq!(classify("crates/obs/src/tree.rs"), ("simpadv-obs".to_string(), FileKind::Src));
         assert_eq!(
             classify("crates/resilience/src/atomic.rs"),
             ("simpadv-resilience".to_string(), FileKind::Src)

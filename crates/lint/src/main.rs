@@ -25,7 +25,7 @@ fn usage() -> &'static str {
      \n\
      --root DIR     workspace root to analyze (default: current directory)\n\
      --config FILE  allowlist file (default: <root>/lint.toml if present)\n\
-     --rule RN      run a single rule (R1..R9)\n\
+     --rule RN      run a single rule (R1..R10)\n\
      --json         emit diagnostics as a JSON array\n\
      --deny         exit non-zero when any diagnostic is emitted (CI mode)\n\
      --list         print the rule catalogue and exit\n"
@@ -54,7 +54,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--rule" => {
-                let id = it.next().ok_or_else(|| "--rule requires an id (R1..R9)".to_string())?;
+                let id = it.next().ok_or_else(|| "--rule requires an id (R1..R10)".to_string())?;
                 if rules::rule_by_id(&id).is_none() {
                     return Err(format!("unknown rule `{id}`; try --list"));
                 }
@@ -129,7 +129,7 @@ fn main() -> ExitCode {
         for d in &diags {
             print!("{}", d.render());
         }
-        let scope = args.rule.as_deref().unwrap_or("R1..R9");
+        let scope = args.rule.as_deref().unwrap_or("R1..R10");
         eprintln!(
             "simpadv-lint: {} file(s) analyzed, {} diagnostic(s) [{}]",
             ws.files.len(),

@@ -1,4 +1,4 @@
-//! The nine invariant rules (R1–R9).
+//! The ten invariant rules (R1–R10).
 //!
 //! Each rule is a pure function from a [`Workspace`] to diagnostics. The
 //! rules are syntactic but token-accurate: comments and string literals
@@ -24,7 +24,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
 
 /// A rule's identity and entry point.
 pub struct Rule {
-    /// Stable id (`R1`..`R9`), referenced from `lint.toml`.
+    /// Stable id (`R1`..`R10`), referenced from `lint.toml`.
     pub id: &'static str,
     /// One-line summary shown by `--list`.
     pub summary: &'static str,
@@ -86,6 +86,12 @@ pub const RULES: &[Rule] = &[
         summary: "File::create/fs::write only in crates/resilience (and the trace \
                   sinks); durable output goes through the atomic-write protocol",
         check: rule_r9_durable_writes,
+    },
+    Rule {
+        id: "R10",
+        summary: "std::time::Instant/SystemTime only in crates/trace/src/clock.rs and \
+                  crates/obs; production timing goes through the span clock's WallTimer",
+        check: rule_r10_wall_clock_quarantine,
     },
 ];
 
@@ -549,6 +555,45 @@ fn rule_r9_durable_writes(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
+/// R10: wall-clock quarantine. `std::time::Instant`/`SystemTime` are
+/// confined to the span clock (`crates/trace/src/clock.rs`, which wraps
+/// them in `WallTimer`) and the offline analyzers in `crates/obs`;
+/// everywhere else, production code times itself through the span
+/// clock so wall readings stay in `meta` and never leak into logical
+/// event content. Test code is exempt.
+fn rule_r10_wall_clock_quarantine(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Src
+            || file.crate_name == "simpadv-obs"
+            || file.path == "crates/trace/src/clock.rs"
+        {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            if p.test_mask[i] {
+                continue;
+            }
+            if let Some(name @ ("Instant" | "SystemTime")) = p.ident(i) {
+                out.push(diag(
+                    "R10",
+                    file,
+                    p.line(i),
+                    name,
+                    format!(
+                        "`{name}` outside the wall-clock quarantine \
+                         (crates/trace/src/clock.rs and crates/obs); time through \
+                         `simpadv_trace::clock::WallTimer` so wall readings stay \
+                         in event `meta` and the logical stream stays thread-invariant"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -854,6 +899,45 @@ pub fn try_reshape(&self, s: &[usize]) -> Result<T, E> { inner(s) }
             ("crates/core/tests/resume.rs", "fn t(p: &Path) { std::fs::File::create(p); }"),
         ];
         assert!(run("R9", &files).is_empty());
+    }
+
+    // ---- R10 ----
+
+    #[test]
+    fn r10_fires_on_instant_and_systemtime_outside_the_quarantine() {
+        let files = [
+            ("crates/core/src/train/mod.rs", "fn f() { let t = std::time::Instant::now(); }"),
+            (
+                "crates/bench/src/bin/table1.rs",
+                "use std::time::SystemTime;\nfn g() { let t = SystemTime::now(); }",
+            ),
+        ];
+        let d = run("R10", &files);
+        let items: Vec<&str> = d.iter().map(|d| d.item.as_str()).collect();
+        assert_eq!(items, vec!["Instant", "SystemTime", "SystemTime"]);
+        assert!(d[0].message.contains("WallTimer"));
+    }
+
+    #[test]
+    fn r10_allows_clock_module_obs_crate_and_test_code() {
+        let files = [
+            (
+                "crates/trace/src/clock.rs",
+                "pub struct WallTimer { start: std::time::Instant }",
+            ),
+            (
+                "crates/obs/src/tree.rs",
+                "fn stamp() -> std::time::Instant { std::time::Instant::now() }",
+            ),
+            (
+                "crates/nn/src/layers.rs",
+                "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = std::time::Instant::now(); }\n}\n",
+            ),
+            ("crates/tensor/tests/ops.rs", "fn t() { let _ = std::time::Instant::now(); }"),
+            // comments and strings never tokenize into idents
+            ("crates/data/src/lib.rs", "// Instant\nfn f() -> &'static str { \"SystemTime\" }"),
+        ];
+        assert!(run("R10", &files).is_empty());
     }
 
     #[test]

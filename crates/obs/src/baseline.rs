@@ -1,0 +1,531 @@
+//! The `BENCH_<experiment>.json` benchmark-baseline artifact: schema,
+//! construction helpers, and the regression comparison the CI perf gate
+//! runs.
+//!
+//! The artifact separates **logical** content — experiment identity,
+//! scale, per-trainer clock counters, final accuracies, and a digest of
+//! the trace's logical projection, all of which must be bitwise stable
+//! across machines and thread counts — from a `meta` block holding
+//! wall-clock statistics and run conditions. [`compare`] fails only on
+//! logical changes; wall drift is annotated as a warning.
+
+use crate::diff::{diff, DiffOptions};
+use crate::tree::SpanTree;
+use serde::{Deserialize, Serialize};
+use simpadv_trace::{Event, FieldValue};
+use std::collections::BTreeMap;
+
+/// Artifact schema version; bump on any field change.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The experiment workload the artifact was produced at (a decoupled
+/// copy of `ExperimentScale`, so the observatory does not depend on the
+/// core crate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleInfo {
+    /// Training images per dataset.
+    pub train_samples: u64,
+    /// Test images per dataset.
+    pub test_samples: u64,
+    /// Training epochs.
+    pub epochs: u64,
+    /// Data/model seed.
+    pub seed: u64,
+}
+
+/// Logical cost of one trainer, summed over its `train` spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainerCost {
+    /// Trainer id (the `trainer` field of the `train` span).
+    pub trainer: String,
+    /// `train` spans attributed to this trainer.
+    pub runs: u64,
+    /// Epoch spans nested under those runs.
+    pub epochs: u64,
+    /// Logical forward passes.
+    pub forward: u64,
+    /// Logical backward passes.
+    pub backward: u64,
+    /// Logical flops proxy.
+    pub flops: u64,
+    /// Logical attack steps.
+    pub attack_steps: u64,
+}
+
+/// Median/min/max over repeat wall measurements (seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WallStats {
+    /// Median across repeats.
+    pub median_s: f64,
+    /// Fastest repeat.
+    pub min_s: f64,
+    /// Slowest repeat.
+    pub max_s: f64,
+}
+
+impl WallStats {
+    /// Builds the stats from per-repeat samples (zeroes when empty).
+    pub fn from_samples(samples: &[f64]) -> WallStats {
+        if samples.is_empty() {
+            return WallStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        let median_s =
+            if sorted.len() % 2 == 1 { sorted[mid] } else { (sorted[mid - 1] + sorted[mid]) / 2.0 };
+        WallStats { median_s, min_s: sorted[0], max_s: sorted[sorted.len() - 1] }
+    }
+}
+
+/// Non-logical run conditions and wall statistics. Nothing in here is
+/// ever grounds for a perf-gate failure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchMeta {
+    /// `--threads` the run was pinned to (0 = runtime default).
+    pub threads: u64,
+    /// Cores the producing machine advertised.
+    pub threads_available: u64,
+    /// `--repeat` count behind the wall statistics.
+    pub repeat: u64,
+    /// Mean wall seconds per epoch span, across repeats.
+    pub wall_per_epoch_s: WallStats,
+    /// Total wall seconds across root spans, across repeats.
+    pub wall_total_s: WallStats,
+    /// Whether every repeat produced a logically identical trace.
+    pub repeats_logically_identical: bool,
+    /// Standing caveat about interpreting the wall numbers.
+    pub note: String,
+}
+
+/// The wall-clock caveat every artifact carries (the reference CI
+/// container pins the workspace to a single CPU, so wall numbers are
+/// indicative only — see DESIGN.md §4 on the measurement environment).
+pub const WALL_NOTE: &str = "wall statistics are machine-dependent; the reference container \
+     runs on 1 CPU, so gate on the logical counters and treat wall numbers as indicative";
+
+/// One committed benchmark baseline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Experiment name (`table1`, `fig1`, ...).
+    pub experiment: String,
+    /// Workload the numbers were produced at.
+    pub scale: ScaleInfo,
+    /// Logical cost per trainer.
+    pub trainers: Vec<TrainerCost>,
+    /// Final accuracies (or other scalar results), named.
+    pub accuracies: Vec<(String, f64)>,
+    /// Events in the run's trace.
+    pub events: u64,
+    /// FNV-1a digest over the trace's logical projection
+    /// ([`logical_digest`]).
+    pub trace_digest: String,
+    /// Non-logical run conditions and wall statistics.
+    pub meta: BenchMeta,
+}
+
+/// FNV-1a (64-bit) over the JSONL rendering of every event's logical
+/// projection ([`Event::without_meta`]), newline-separated. Stable
+/// across machines and thread counts whenever the logical stream is.
+pub fn logical_digest(events: &[Event]) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for ev in events {
+        for byte in ev.without_meta().to_json_line().bytes().chain(std::iter::once(b'\n')) {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    format!("{h:016x}")
+}
+
+fn str_field(fields: &[(String, FieldValue)], key: &str) -> Option<String> {
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        FieldValue::Str(s) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+/// Sums the logical cost of every `train` span, grouped by its
+/// `trainer` field (spans without one group under `"unknown"`).
+pub fn trainer_costs(tree: &SpanTree) -> Vec<TrainerCost> {
+    let mut by_trainer: BTreeMap<String, TrainerCost> = BTreeMap::new();
+    tree.walk(&mut |node| {
+        if node.name != "train" {
+            return;
+        }
+        let id = str_field(&node.fields, "trainer").unwrap_or_else(|| "unknown".to_string());
+        let cost = by_trainer
+            .entry(id.clone())
+            .or_insert_with(|| TrainerCost { trainer: id, ..TrainerCost::default() });
+        cost.runs += 1;
+        cost.epochs += node.children.iter().filter(|c| c.name == "epoch").count() as u64;
+        cost.forward += node.total.forward;
+        cost.backward += node.total.backward;
+        cost.flops += node.total.flops;
+        cost.attack_steps += node.total.attack_steps;
+    });
+    by_trainer.into_values().collect()
+}
+
+/// Wall seconds of every `epoch` span in the tree.
+pub fn epoch_walls_s(tree: &SpanTree) -> Vec<f64> {
+    let mut out = Vec::new();
+    tree.walk(&mut |node| {
+        if node.name == "epoch" {
+            out.push(node.total.wall_us as f64 / 1e6);
+        }
+    });
+    out
+}
+
+/// Total wall seconds across the tree's root spans.
+pub fn total_wall_s(tree: &SpanTree) -> f64 {
+    tree.roots.iter().map(|r| r.total.wall_us as f64 / 1e6).sum()
+}
+
+/// Whether every stream in `repeats` is logically identical to the
+/// first (vacuously true below two repeats).
+pub fn repeats_logically_identical(repeats: &[Vec<Event>]) -> bool {
+    repeats
+        .iter()
+        .skip(1)
+        .all(|r| diff(&repeats[0], r, &DiffOptions::default()).logically_identical())
+}
+
+/// Thresholds for [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareOptions {
+    /// Median wall-per-epoch drift (percent) above which a warning is
+    /// attached.
+    pub wall_threshold_pct: f64,
+    /// Absolute tolerance for accuracy comparisons (accuracies are
+    /// deterministic, but they travel through JSON f64 round-trips).
+    pub accuracy_tolerance: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions { wall_threshold_pct: 25.0, accuracy_tolerance: 1e-6 }
+    }
+}
+
+/// The perf gate's verdict: hard logical regressions vs advisory wall
+/// drift.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompareReport {
+    /// Logical mismatches — any entry fails the gate.
+    pub regressions: Vec<String>,
+    /// Advisory annotations (wall drift, run-condition differences).
+    pub warnings: Vec<String>,
+}
+
+impl CompareReport {
+    /// Whether the candidate passes the gate.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the report as `bench compare` prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            out.push_str("logical content: matches the baseline\n");
+        } else {
+            out.push_str(&format!("logical regressions: {}\n", self.regressions.len()));
+            for r in &self.regressions {
+                out.push_str(&format!("  FAIL {r}\n"));
+            }
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("  warning: {w}\n"));
+        }
+        out
+    }
+}
+
+fn compare_counter(out: &mut Vec<String>, trainer: &str, what: &str, base: u64, cand: u64) {
+    if base != cand {
+        out.push(format!("trainer '{trainer}': logical {what} changed {base} -> {cand}"));
+    }
+}
+
+/// Compares a candidate artifact against the committed baseline.
+///
+/// Fails (an entry in `regressions`) on: schema/experiment/scale
+/// mismatches, any per-trainer logical-counter change, accuracy drift
+/// beyond tolerance, event-count or trace-digest changes. Warns on:
+/// wall-per-epoch drift beyond the threshold, differing thread/repeat
+/// run conditions, and non-identical repeats in the candidate.
+pub fn compare(
+    baseline: &BenchArtifact,
+    candidate: &BenchArtifact,
+    opts: &CompareOptions,
+) -> CompareReport {
+    let mut report = CompareReport::default();
+    let reg = &mut report.regressions;
+    if baseline.schema_version != candidate.schema_version {
+        reg.push(format!(
+            "schema version {} vs {}",
+            baseline.schema_version, candidate.schema_version
+        ));
+    }
+    if baseline.experiment != candidate.experiment {
+        reg.push(format!("experiment '{}' vs '{}'", baseline.experiment, candidate.experiment));
+    }
+    if baseline.scale != candidate.scale {
+        reg.push(format!("scale {:?} vs {:?}", baseline.scale, candidate.scale));
+    }
+
+    let cand_trainers: BTreeMap<&str, &TrainerCost> =
+        candidate.trainers.iter().map(|t| (t.trainer.as_str(), t)).collect();
+    for base in &baseline.trainers {
+        match cand_trainers.get(base.trainer.as_str()) {
+            None => reg.push(format!("trainer '{}' missing from candidate", base.trainer)),
+            Some(cand) => {
+                compare_counter(reg, &base.trainer, "runs", base.runs, cand.runs);
+                compare_counter(reg, &base.trainer, "epochs", base.epochs, cand.epochs);
+                compare_counter(reg, &base.trainer, "forward passes", base.forward, cand.forward);
+                compare_counter(
+                    reg,
+                    &base.trainer,
+                    "backward passes",
+                    base.backward,
+                    cand.backward,
+                );
+                compare_counter(reg, &base.trainer, "flops", base.flops, cand.flops);
+                compare_counter(
+                    reg,
+                    &base.trainer,
+                    "attack steps",
+                    base.attack_steps,
+                    cand.attack_steps,
+                );
+            }
+        }
+    }
+    for cand in &candidate.trainers {
+        if !baseline.trainers.iter().any(|t| t.trainer == cand.trainer) {
+            reg.push(format!("trainer '{}' absent from baseline", cand.trainer));
+        }
+    }
+
+    let cand_acc: BTreeMap<&str, f64> =
+        candidate.accuracies.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    for (name, base) in &baseline.accuracies {
+        match cand_acc.get(name.as_str()) {
+            None => reg.push(format!("accuracy '{name}' missing from candidate")),
+            Some(cand) if (cand - base).abs() > opts.accuracy_tolerance => {
+                reg.push(format!("accuracy '{name}' changed {base:.6} -> {cand:.6}"));
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, _) in &candidate.accuracies {
+        if !baseline.accuracies.iter().any(|(k, _)| k == name) {
+            reg.push(format!("accuracy '{name}' absent from baseline"));
+        }
+    }
+
+    if baseline.events != candidate.events {
+        reg.push(format!("trace event count {} vs {}", baseline.events, candidate.events));
+    }
+    if baseline.trace_digest != candidate.trace_digest {
+        reg.push(format!(
+            "trace logical digest {} vs {}",
+            baseline.trace_digest, candidate.trace_digest
+        ));
+    }
+
+    let (bm, cm) = (&baseline.meta, &candidate.meta);
+    if !cm.repeats_logically_identical {
+        report
+            .warnings
+            .push("candidate repeats were not logically identical to each other".to_string());
+    }
+    if bm.threads != cm.threads || bm.threads_available != cm.threads_available {
+        report.warnings.push(format!(
+            "run conditions differ: threads {}/{} (baseline) vs {}/{} (candidate)",
+            bm.threads, bm.threads_available, cm.threads, cm.threads_available
+        ));
+    }
+    let (b_epoch, c_epoch) = (bm.wall_per_epoch_s.median_s, cm.wall_per_epoch_s.median_s);
+    if b_epoch > 0.0 {
+        let drift_pct = (c_epoch - b_epoch).abs() / b_epoch * 100.0;
+        if drift_pct > opts.wall_threshold_pct {
+            report.warnings.push(format!(
+                "median wall per epoch {:.4}s -> {:.4}s ({}{:.0}%)",
+                b_epoch,
+                c_epoch,
+                if c_epoch >= b_epoch { "+" } else { "-" },
+                drift_pct
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_tree;
+    use simpadv_trace::EventKind;
+
+    fn open(seq: u64, path: &str, trainer: Option<&str>) -> Event {
+        let fields = trainer
+            .map(|t| vec![("trainer".to_string(), FieldValue::Str(t.to_string()))])
+            .unwrap_or_default();
+        Event { seq, kind: EventKind::SpanOpen, path: path.into(), fields, meta: Vec::new() }
+    }
+
+    fn close(seq: u64, path: &str, wall: u64, forward: u64) -> Event {
+        Event {
+            seq,
+            kind: EventKind::SpanClose,
+            path: path.into(),
+            fields: vec![
+                ("forward".into(), FieldValue::U64(forward)),
+                ("backward".into(), FieldValue::U64(forward)),
+                ("flops".into(), FieldValue::U64(forward * 100)),
+                ("attack_steps".into(), FieldValue::U64(0)),
+            ],
+            meta: vec![("wall_us".into(), FieldValue::U64(wall))],
+        }
+    }
+
+    fn traced_run() -> Vec<Event> {
+        vec![
+            open(0, "train", Some("proposed")),
+            open(1, "train/epoch", None),
+            close(2, "train/epoch", 1_000_000, 4),
+            open(3, "train/epoch", None),
+            close(4, "train/epoch", 3_000_000, 4),
+            close(5, "train", 4_500_000, 8),
+        ]
+    }
+
+    fn artifact() -> BenchArtifact {
+        let events = traced_run();
+        let tree = build_tree(&events).expect("balanced");
+        BenchArtifact {
+            schema_version: BENCH_SCHEMA_VERSION,
+            experiment: "table1".into(),
+            scale: ScaleInfo { train_samples: 200, test_samples: 100, epochs: 6, seed: 2019 },
+            trainers: trainer_costs(&tree),
+            accuracies: vec![("mnist/proposed/original".into(), 0.875)],
+            events: events.len() as u64,
+            trace_digest: logical_digest(&events),
+            meta: BenchMeta {
+                threads: 1,
+                threads_available: 1,
+                repeat: 1,
+                wall_per_epoch_s: WallStats::from_samples(&epoch_walls_s(&tree)),
+                wall_total_s: WallStats::from_samples(&[total_wall_s(&tree)]),
+                repeats_logically_identical: true,
+                note: WALL_NOTE.to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn trainer_costs_group_and_count_epochs() {
+        let tree = build_tree(&traced_run()).expect("balanced");
+        let costs = trainer_costs(&tree);
+        assert_eq!(costs.len(), 1);
+        assert_eq!(costs[0].trainer, "proposed");
+        assert_eq!(costs[0].runs, 1);
+        assert_eq!(costs[0].epochs, 2);
+        assert_eq!(costs[0].forward, 8);
+        assert_eq!(costs[0].flops, 800);
+    }
+
+    #[test]
+    fn wall_stats_median_min_max() {
+        let s = WallStats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!((s.median_s, s.min_s, s.max_s), (2.0, 1.0, 3.0));
+        let s = WallStats::from_samples(&[4.0, 2.0]);
+        assert_eq!(s.median_s, 3.0);
+        assert_eq!(WallStats::from_samples(&[]), WallStats::default());
+    }
+
+    #[test]
+    fn digest_ignores_meta_but_tracks_logical_change() {
+        let a = traced_run();
+        let mut wall_shift = a.clone();
+        wall_shift[5].meta = vec![("wall_us".into(), FieldValue::U64(9))];
+        assert_eq!(logical_digest(&a), logical_digest(&wall_shift));
+        let mut flops_shift = a.clone();
+        flops_shift[5].fields[2] = ("flops".into(), FieldValue::U64(801));
+        assert_ne!(logical_digest(&a), logical_digest(&flops_shift));
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let a = artifact();
+        let text = serde_json::to_string(&a).expect("serializable");
+        let back: BenchArtifact = serde_json::from_str(&text).expect("parseable");
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let a = artifact();
+        let r = compare(&a, &a, &CompareOptions::default());
+        assert!(r.passed(), "{:?}", r.regressions);
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn planted_logical_counter_regression_fails_the_gate() {
+        let base = artifact();
+        let mut cand = base.clone();
+        cand.trainers[0].flops += 1;
+        let r = compare(&base, &cand, &CompareOptions::default());
+        assert!(!r.passed());
+        assert!(r.regressions.iter().any(|m| m.contains("flops")), "{:?}", r.regressions);
+        assert!(r.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn accuracy_drift_fails_and_wall_drift_warns() {
+        let base = artifact();
+        let mut cand = base.clone();
+        cand.accuracies[0].1 += 0.01;
+        cand.meta.wall_per_epoch_s.median_s *= 2.0;
+        let r = compare(&base, &cand, &CompareOptions::default());
+        assert!(r.regressions.iter().any(|m| m.contains("accuracy")));
+        assert!(r.warnings.iter().any(|m| m.contains("wall per epoch")));
+    }
+
+    #[test]
+    fn scale_and_experiment_mismatches_fail() {
+        let base = artifact();
+        let mut cand = base.clone();
+        cand.experiment = "fig1".into();
+        cand.scale.epochs = 7;
+        let r = compare(&base, &cand, &CompareOptions::default());
+        assert!(r.regressions.len() >= 2);
+    }
+
+    #[test]
+    fn missing_and_extra_trainers_fail() {
+        let base = artifact();
+        let mut cand = base.clone();
+        cand.trainers[0].trainer = "atda".into();
+        let r = compare(&base, &cand, &CompareOptions::default());
+        assert!(r.regressions.iter().any(|m| m.contains("missing from candidate")));
+        assert!(r.regressions.iter().any(|m| m.contains("absent from baseline")));
+    }
+
+    #[test]
+    fn repeat_identity_check_spots_divergence() {
+        let a = traced_run();
+        let mut b = a.clone();
+        b[5].fields[0] = ("forward".into(), FieldValue::U64(9));
+        assert!(repeats_logically_identical(&[a.clone(), a.clone()]));
+        assert!(!repeats_logically_identical(&[a, b]));
+    }
+}

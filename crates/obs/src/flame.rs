@@ -1,0 +1,217 @@
+//! Collapsed-stack flamegraph output (`trace flame`).
+//!
+//! The format is the classic `stack;frames;semicolon-joined weight`
+//! one — directly consumable by inferno / flamegraph.pl / speedscope.
+//! Each line carries a stack's **self** weight, so the weights telescope:
+//! summing every line that starts with a frame reproduces that frame's
+//! total, which is exactly the invariant the property tests pin down.
+
+use crate::error::ObsError;
+use crate::tree::{CostVector, SpanNode, SpanTree};
+use std::collections::BTreeMap;
+
+/// Which cost counter a flamegraph weighs stacks by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlameWeight {
+    /// Wall microseconds (non-logical, the default).
+    Wall,
+    /// Flops proxy (logical).
+    Flops,
+    /// Gradient work: forward + backward passes (logical).
+    Work,
+    /// Attack steps (logical).
+    AttackSteps,
+}
+
+impl FlameWeight {
+    /// Parses a `--weight` value.
+    pub fn parse(s: &str) -> Option<FlameWeight> {
+        match s {
+            "wall" => Some(FlameWeight::Wall),
+            "flops" => Some(FlameWeight::Flops),
+            "work" => Some(FlameWeight::Work),
+            "attack-steps" => Some(FlameWeight::AttackSteps),
+            _ => None,
+        }
+    }
+
+    /// Extracts this weight from a cost vector.
+    pub fn of(&self, cost: &CostVector) -> u64 {
+        match self {
+            FlameWeight::Wall => cost.wall_us,
+            FlameWeight::Flops => cost.flops,
+            FlameWeight::Work => cost.work(),
+            FlameWeight::AttackSteps => cost.attack_steps,
+        }
+    }
+}
+
+/// Frame-name hygiene: `;` separates frames and the final space
+/// separates the weight, so neither may appear inside a frame.
+fn sanitize(name: &str) -> String {
+    name.replace(';', ":").replace(' ', "_")
+}
+
+/// Folds the tree into merged collapsed stacks, weighted by each span's
+/// **self** cost. Identical stacks (e.g. every `epoch` under the same
+/// `train`) merge by summation. Zero-weight stacks are kept so the
+/// output enumerates the full tree shape deterministically.
+pub fn collapse(tree: &SpanTree, weight: FlameWeight) -> Vec<(String, u64)> {
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    fn go(
+        node: &SpanNode,
+        frames: &mut Vec<String>,
+        weight: FlameWeight,
+        merged: &mut BTreeMap<String, u64>,
+    ) {
+        frames.push(sanitize(&node.name));
+        *merged.entry(frames.join(";")).or_insert(0) += weight.of(&node.self_cost());
+        for c in &node.children {
+            go(c, frames, weight, merged);
+        }
+        frames.pop();
+    }
+    let mut frames = Vec::new();
+    for r in &tree.roots {
+        go(r, &mut frames, weight, &mut merged);
+    }
+    merged.into_iter().collect()
+}
+
+/// Renders collapsed stacks as the canonical `stack weight` lines.
+pub fn render_collapsed(stacks: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (stack, w) in stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses collapsed-stack text back into `(stack, weight)` pairs — the
+/// round-trip half of the flamegraph property tests.
+///
+/// # Errors
+///
+/// Returns [`ObsError::Parse`] on a line without a trailing integer
+/// weight.
+pub fn parse_collapsed(text: &str) -> Result<Vec<(String, u64)>, ObsError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (stack, weight) = line.rsplit_once(' ').ok_or_else(|| ObsError::Parse {
+            line: i + 1,
+            message: "collapsed-stack line without a weight".into(),
+        })?;
+        let weight: u64 = weight.parse().map_err(|_| ObsError::Parse {
+            line: i + 1,
+            message: format!("invalid weight '{weight}'"),
+        })?;
+        out.push((stack.to_string(), weight));
+    }
+    Ok(out)
+}
+
+/// Sums, for every stack prefix, the self-weights of all lines under it
+/// — reconstructing each frame-path's *total* weight from collapsed
+/// output. Inverse of [`collapse`] + self-cost attribution.
+pub fn prefix_totals(stacks: &[(String, u64)]) -> BTreeMap<String, u64> {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for (stack, w) in stacks {
+        let frames: Vec<&str> = stack.split(';').collect();
+        for depth in 1..=frames.len() {
+            *totals.entry(frames[..depth].join(";")).or_insert(0) += w;
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_tree;
+    use simpadv_trace::{Event, EventKind, FieldValue};
+
+    fn open(seq: u64, path: &str) -> Event {
+        Event {
+            seq,
+            kind: EventKind::SpanOpen,
+            path: path.into(),
+            fields: Vec::new(),
+            meta: Vec::new(),
+        }
+    }
+
+    fn close(seq: u64, path: &str, wall: u64) -> Event {
+        Event {
+            seq,
+            kind: EventKind::SpanClose,
+            path: path.into(),
+            fields: vec![("flops".into(), FieldValue::U64(wall * 10))],
+            meta: vec![("wall_us".into(), FieldValue::U64(wall))],
+        }
+    }
+
+    fn sample_tree() -> crate::tree::SpanTree {
+        build_tree(&[
+            open(0, "train"),
+            open(1, "train/epoch"),
+            close(2, "train/epoch", 30),
+            open(3, "train/epoch"),
+            close(4, "train/epoch", 50),
+            close(5, "train", 100),
+        ])
+        .expect("balanced")
+    }
+
+    #[test]
+    fn collapse_merges_identical_stacks_with_self_weights() {
+        let stacks = collapse(&sample_tree(), FlameWeight::Wall);
+        assert_eq!(stacks, vec![("train".to_string(), 20), ("train;epoch".to_string(), 80)]);
+    }
+
+    #[test]
+    fn rendered_output_round_trips() {
+        let stacks = collapse(&sample_tree(), FlameWeight::Wall);
+        let text = render_collapsed(&stacks);
+        assert_eq!(parse_collapsed(&text).expect("well-formed"), stacks);
+    }
+
+    #[test]
+    fn prefix_totals_reconstruct_root_totals() {
+        let stacks = collapse(&sample_tree(), FlameWeight::Wall);
+        let totals = prefix_totals(&stacks);
+        assert_eq!(totals["train"], 100);
+        assert_eq!(totals["train;epoch"], 80);
+    }
+
+    #[test]
+    fn logical_weights_are_selectable() {
+        let stacks = collapse(&sample_tree(), FlameWeight::Flops);
+        let totals = prefix_totals(&stacks);
+        assert_eq!(totals["train"], 1000);
+    }
+
+    #[test]
+    fn frame_names_are_sanitized() {
+        assert_eq!(sanitize("a;b c"), "a:b_c");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(matches!(parse_collapsed("nospace"), Err(ObsError::Parse { line: 1, .. })));
+        assert!(matches!(parse_collapsed("a b notanum"), Err(ObsError::Parse { .. })));
+    }
+
+    #[test]
+    fn weight_parse_covers_all_modes() {
+        for s in ["wall", "flops", "work", "attack-steps"] {
+            assert!(FlameWeight::parse(s).is_some(), "{s}");
+        }
+        assert!(FlameWeight::parse("time").is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! `simpadv-obs`: trace analysis and the performance-regression
+//! observatory.
+//!
+//! Layered on the `simpadv-trace` event schema, this crate turns a flat
+//! JSONL trace back into knowledge:
+//!
+//! * [`reader`] — strict JSONL loading with truncation-aware typed
+//!   errors ([`ObsError`]): a torn final line, an empty trace, and
+//!   unbalanced span pairs all degrade into diagnosable failures.
+//! * [`tree`] — span-tree reconstruction from `span_open`/`span_close`
+//!   nesting, per-span **total** vs **self** cost attribution (wall
+//!   microseconds plus the logical clock counters), and the hot-spot
+//!   table behind `trace top`.
+//! * [`flame`] — inferno-compatible collapsed-stack flamegraph output
+//!   (`trace flame`), self-weighted so stack weights telescope to the
+//!   tree's totals.
+//! * [`diff`] — `trace diff A B`, the executable determinism line:
+//!   logical event content must be bitwise identical or the comparison
+//!   fails; wall-time drift beyond a threshold is merely annotated.
+//! * [`baseline`] — the `BENCH_<experiment>.json` artifact schema, its
+//!   construction helpers, and the logical-regression comparison the CI
+//!   perf gate runs against the committed baseline.
+//!
+//! The crate stays dependency-light by design (trace + the vendored
+//! serde shims only) and performs no I/O beyond what callers hand it:
+//! the CLI owns files, the bench harness owns artifacts.
+//!
+//! Wall-clock quarantine: this crate and `crates/trace/src/clock.rs`
+//! are the only places lint rule R10 permits direct
+//! `std::time::Instant`/`SystemTime` use — analysis code may need raw
+//! timestamps, production code must go through the span clock.
+
+pub mod baseline;
+pub mod diff;
+pub mod error;
+pub mod flame;
+pub mod reader;
+pub mod tree;
+
+pub use baseline::{
+    compare, logical_digest, BenchArtifact, BenchMeta, CompareOptions, CompareReport, ScaleInfo,
+    TrainerCost, WallStats, BENCH_SCHEMA_VERSION,
+};
+pub use diff::{diff, DiffOptions, DiffReport};
+pub use error::ObsError;
+pub use flame::{collapse, parse_collapsed, prefix_totals, render_collapsed, FlameWeight};
+pub use reader::read_events;
+pub use tree::{
+    attribute, build_tree, hot_spots, render_top, CostVector, HotSpot, PathStat, SpanNode,
+    SpanTree, TopBy,
+};

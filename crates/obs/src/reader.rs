@@ -1,0 +1,96 @@
+//! Strict JSONL trace loading with truncation-aware errors.
+
+use crate::error::ObsError;
+use simpadv_trace::Event;
+
+/// Parses a JSONL trace into events.
+///
+/// Blank lines are permitted and skipped. Parsing is schema-strict (the
+/// [`Event`] deserializer rejects unknown keys), and the error is typed
+/// by position: an invalid *final* line is reported as
+/// [`ObsError::TruncatedTail`] — the normal aftermath of a writer killed
+/// mid-line — while an invalid interior line is [`ObsError::Parse`].
+///
+/// An empty file parses to an empty event list; deciding whether that is
+/// an error is left to the analysis (e.g. [`crate::tree::build_tree`]).
+///
+/// # Errors
+///
+/// Returns [`ObsError::Parse`] or [`ObsError::TruncatedTail`] on the
+/// first invalid line.
+pub fn read_events(text: &str) -> Result<Vec<Event>, ObsError> {
+    let lines: Vec<(usize, &str)> =
+        text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).collect();
+    let last = lines.last().map(|(i, _)| *i);
+    let mut events = Vec::with_capacity(lines.len());
+    for (i, line) in lines {
+        match serde_json::from_str::<Event>(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                let (line, message) = (i + 1, e.to_string());
+                return Err(if Some(i) == last {
+                    ObsError::TruncatedTail { line, message }
+                } else {
+                    ObsError::Parse { line, message }
+                });
+            }
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpadv_trace::EventKind;
+
+    fn line(seq: u64, kind: EventKind, path: &str) -> String {
+        Event { seq, kind, path: path.into(), fields: Vec::new(), meta: Vec::new() }.to_json_line()
+    }
+
+    #[test]
+    fn parses_a_valid_trace_and_skips_blanks() {
+        let text = format!(
+            "\n{}\n\n{}\n",
+            line(0, EventKind::SpanOpen, "a"),
+            line(1, EventKind::SpanClose, "a")
+        );
+        let events = read_events(&text).expect("valid");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].path, "a");
+    }
+
+    #[test]
+    fn empty_input_is_ok_and_empty() {
+        assert_eq!(read_events("").expect("empty is fine"), Vec::new());
+        assert_eq!(read_events("\n\n").expect("blank is fine"), Vec::new());
+    }
+
+    #[test]
+    fn invalid_final_line_is_truncated_tail() {
+        let text = format!("{}\n{{\"seq\":1,\"kind\":\"span_cl", line(0, EventKind::SpanOpen, "a"));
+        match read_events(&text) {
+            Err(ObsError::TruncatedTail { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected TruncatedTail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_interior_line_is_a_parse_error() {
+        let text = format!(
+            "{}\nnot json\n{}\n",
+            line(0, EventKind::SpanOpen, "a"),
+            line(2, EventKind::SpanClose, "a")
+        );
+        match read_events(&text) {
+            Err(ObsError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let text = r#"{"seq":0,"kind":"gauge","path":"p","fields":{},"meta":{},"extra":1}"#;
+        assert!(matches!(read_events(text), Err(ObsError::TruncatedTail { .. })));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the observatory's structural invariants:
+//! self-cost attribution telescopes, collapsed flamegraph stacks round-trip
+//! to the tree's totals, and a trace always diffs clean against itself.
+
+use proptest::prelude::*;
+use simpadv_obs::{
+    attribute, build_tree, collapse, diff, parse_collapsed, prefix_totals, render_collapsed,
+    CostVector, DiffOptions, FlameWeight,
+};
+use simpadv_trace::{Event, EventKind, FieldValue};
+
+const NAMES: &[&str] = &["train", "epoch", "attack", "eval", "checkpoint"];
+
+fn close_fields(own: &CostVector) -> Vec<(String, FieldValue)> {
+    vec![
+        ("forward".to_string(), FieldValue::U64(own.forward)),
+        ("backward".to_string(), FieldValue::U64(own.backward)),
+        ("flops".to_string(), FieldValue::U64(own.flops)),
+        ("attack_steps".to_string(), FieldValue::U64(own.attack_steps)),
+    ]
+}
+
+/// Interprets a byte string as open/close commands, producing a balanced
+/// event stream whose close totals are coherent (every parent's total is
+/// its children's totals plus its own contribution, exactly as the real
+/// tracer's delta counters behave).
+fn build_events(cmds: &[u8]) -> Vec<Event> {
+    let mut events = Vec::new();
+    // (path, accumulated cost of already-closed children)
+    let mut stack: Vec<(String, CostVector)> = Vec::new();
+    let mut seq = 0u64;
+    let close_top =
+        |stack: &mut Vec<(String, CostVector)>, events: &mut Vec<Event>, seq: &mut u64, b: u8| {
+            let Some((path, children)) = stack.pop() else { return };
+            let own = CostVector {
+                wall_us: u64::from(b) * 10 + 1,
+                forward: u64::from(b % 7),
+                backward: u64::from(b % 5),
+                flops: u64::from(b) * 3,
+                attack_steps: u64::from(b % 3),
+            };
+            let mut total = children;
+            total.add(&own);
+            events.push(Event {
+                seq: *seq,
+                kind: EventKind::SpanClose,
+                path: path.clone(),
+                fields: close_fields(&total),
+                meta: vec![("wall_us".to_string(), FieldValue::U64(total.wall_us))],
+            });
+            *seq += 1;
+            if let Some((_, parent_children)) = stack.last_mut() {
+                parent_children.add(&total);
+            }
+        };
+    for &b in cmds {
+        if b % 4 < 2 && stack.len() < 4 {
+            let name = NAMES[usize::from(b / 4) % NAMES.len()];
+            let path = match stack.last() {
+                Some((p, _)) => format!("{p}/{name}"),
+                None => name.to_string(),
+            };
+            events.push(Event {
+                seq,
+                kind: EventKind::SpanOpen,
+                path: path.clone(),
+                fields: Vec::new(),
+                meta: Vec::new(),
+            });
+            seq += 1;
+            stack.push((path, CostVector::default()));
+        } else {
+            close_top(&mut stack, &mut events, &mut seq, b);
+        }
+    }
+    while !stack.is_empty() {
+        close_top(&mut stack, &mut events, &mut seq, 9);
+    }
+    events
+}
+
+fn commands() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..255, 1..48)
+}
+
+proptest! {
+    #[test]
+    fn self_cost_telescopes_to_total_minus_children(cmds in commands()) {
+        let events = build_events(&cmds);
+        if events.is_empty() {
+            return Ok(());
+        }
+        let tree = build_tree(&events).expect("constructed balanced");
+        let mut holds = true;
+        tree.walk(&mut |node| {
+            let mut children = CostVector::default();
+            for c in &node.children {
+                children.add(&c.total);
+            }
+            let mut back = node.self_cost();
+            back.add(&children);
+            // coherent construction means no saturation: self + children == total
+            holds &= back == node.total;
+        });
+        prop_assert!(holds);
+    }
+
+    #[test]
+    fn collapsed_stacks_parse_back_to_the_trees_weights(cmds in commands()) {
+        let events = build_events(&cmds);
+        if events.is_empty() {
+            return Ok(());
+        }
+        let tree = build_tree(&events).expect("constructed balanced");
+        let folded = render_collapsed(&collapse(&tree, FlameWeight::Wall));
+        let totals = prefix_totals(&parse_collapsed(&folded).expect("own output parses"));
+        for (path, stat) in attribute(&tree) {
+            let frames = path.replace('/', ";");
+            prop_assert_eq!(totals.get(&frames).copied(), Some(stat.total.wall_us));
+        }
+    }
+
+    #[test]
+    fn diff_against_self_is_always_empty(cmds in commands()) {
+        let events = build_events(&cmds);
+        let report = diff(&events, &events, &DiffOptions::default());
+        prop_assert!(report.logically_identical());
+        prop_assert!(report.wall_warnings.is_empty());
+        prop_assert_eq!(report.events_a, events.len());
+    }
+}

@@ -255,9 +255,9 @@ impl Runtime {
     {
         simpadv_trace::clock::tick_pool_region(n_tasks as u64);
         let timed = |i: usize| {
-            let t0 = std::time::Instant::now();
+            let t0 = simpadv_trace::clock::WallTimer::start();
             let r = task(i);
-            simpadv_trace::clock::add_busy_ns(t0.elapsed().as_nanos() as u64);
+            simpadv_trace::clock::add_busy_ns(t0.elapsed_ns());
             r
         };
         if self.threads == 1 || n_tasks <= 1 {

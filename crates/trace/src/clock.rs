@@ -152,3 +152,39 @@ mod tests {
         assert_eq!(newer.delta_since(&older).forward, 0);
     }
 }
+
+/// A monotonic wall-clock stopwatch — the one sanctioned wrapper around
+/// `std::time::Instant` in the workspace (lint rule R10 confines direct
+/// `Instant`/`SystemTime` reads to this module and `crates/obs`).
+///
+/// Wall time is inherently non-logical: it varies with machine load and
+/// `--threads`. Forcing every reader through this type keeps that
+/// nondeterminism funneled into the same quarantine as the non-logical
+/// clock counters above, so a grep for `WallTimer` finds every place a
+/// wall measurement can enter the system.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    start: std::time::Instant,
+}
+
+impl WallTimer {
+    /// Starts the stopwatch now.
+    pub fn start() -> WallTimer {
+        WallTimer { start: std::time::Instant::now() }
+    }
+
+    /// Seconds elapsed since [`WallTimer::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Whole microseconds elapsed since [`WallTimer::start`].
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Whole nanoseconds elapsed since [`WallTimer::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}

@@ -48,7 +48,6 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
-use std::time::Instant;
 
 /// Environment variable naming the trace output file. When set (and no
 /// sink was installed programmatically) the tracer opens it on first use.
@@ -207,7 +206,7 @@ impl SpanTiming {
 /// via [`SpanGuard::finish`] to recover the measured [`SpanTiming`].
 pub struct SpanGuard {
     leaf: String,
-    start: Instant,
+    start: clock::WallTimer,
     open: ClockSnapshot,
     registered: bool,
     closed: bool,
@@ -230,7 +229,7 @@ pub fn span(name: &str, fields: Vec<(String, FieldValue)>) -> SpanGuard {
     }
     SpanGuard {
         leaf: name.to_string(),
-        start: Instant::now(),
+        start: clock::WallTimer::start(),
         open: clock::snapshot(),
         registered,
         closed: false,
@@ -249,7 +248,7 @@ impl SpanGuard {
         }
         self.closed = true;
         let delta = clock::snapshot().delta_since(&self.open);
-        let seconds = self.start.elapsed().as_secs_f64();
+        let seconds = self.start.elapsed_seconds();
         let timing = SpanTiming::new(seconds, delta.forward, delta.backward);
         if self.registered && enabled() {
             let mut st = lock_state();
@@ -264,7 +263,7 @@ impl SpanGuard {
                 ("attack_steps".to_string(), FieldValue::U64(delta.attack_steps)),
             ];
             let meta = vec![
-                ("wall_us".to_string(), FieldValue::U64(self.start.elapsed().as_micros() as u64)),
+                ("wall_us".to_string(), FieldValue::U64(self.start.elapsed_us())),
                 ("busy_us".to_string(), FieldValue::U64(delta.busy_ns / 1_000)),
                 ("pool_regions".to_string(), FieldValue::U64(delta.pool_regions)),
                 ("pool_tasks".to_string(), FieldValue::U64(delta.pool_tasks)),
