@@ -91,6 +91,12 @@ COMMANDS
             compare two BENCH_<experiment>.json artifacts; logical
             regressions exit non-zero, wall drift warns (the CI perf
             gate)
+  lint [--root DIR] [--rules SPEC]
+            run the workspace invariant wall (rules R1-R10 syntactic,
+            S1-S5 semantic; see `simpadv-lint --list`); any diagnostic
+            is an error
+  lint graph [--root DIR]
+            print the workspace call graph in Graphviz DOT format
   help
 
 GLOBAL OPTIONS
@@ -110,7 +116,7 @@ GLOBAL OPTIONS
 /// Returns [`CliError`] on unknown commands, bad options or I/O failures.
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     apply_threads(args)?;
-    if args.command != "trace" && args.command != "bench" {
+    if !matches!(args.command.as_str(), "trace" | "bench" | "lint") {
         args.expect_no_positionals()?;
     }
     let tracing = apply_trace(args)?;
@@ -121,6 +127,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "attack" => cmd_attack(args, out),
         "trace" => cmd_trace(args, out),
         "bench" => cmd_bench(args, out),
+        "lint" => cmd_lint(args, out),
         "help" => writeln!(out, "{USAGE}").map_err(CliError::from),
         other => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
     };
@@ -494,6 +501,51 @@ fn cmd_bench<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     }
 }
 
+/// `lint` — the workspace invariant wall, and `lint graph` — the DOT
+/// call-graph export (the same analyses `simpadv-lint` exposes, wired
+/// into the umbrella CLI for one-command local checks).
+fn cmd_lint<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["threads", "trace", "trace-format", "root", "rules"])?;
+    if args.positional(1).is_some() {
+        return Err(CliError("usage: lint [graph] [--root DIR] [--rules SPEC]".into()));
+    }
+    let root = std::path::PathBuf::from(args.get_or("root", "."));
+    let ws = simpadv_lint::collect_files(&root)
+        .map_err(|e| CliError(format!("cannot walk {}: {e}", root.display())))?;
+    match args.positional(0) {
+        Some("graph") => {
+            let model = simpadv_lint::semrules::SemanticModel::build(&ws);
+            write!(out, "{}", model.graph.to_dot())?;
+            Ok(())
+        }
+        None => {
+            let spec = args.require("rules").ok();
+            if let Some(s) = spec {
+                simpadv_lint::rules::expand_spec(s).map_err(CliError)?;
+            }
+            let config_path = root.join("lint.toml");
+            let cfg = if config_path.exists() {
+                let src = std::fs::read_to_string(&config_path)
+                    .map_err(|e| CliError(format!("cannot read {}: {e}", config_path.display())))?;
+                simpadv_lint::config::parse(&src).map_err(|e| CliError(e.to_string()))?
+            } else {
+                simpadv_lint::config::Config::default()
+            };
+            let diags = simpadv_lint::run(&ws, &cfg, spec);
+            for d in &diags {
+                write!(out, "{}", d.render())?;
+            }
+            if diags.is_empty() {
+                writeln!(out, "lint: {} file(s) analyzed, clean", ws.files.len())?;
+                Ok(())
+            } else {
+                Err(CliError(format!("lint: {} diagnostic(s)", diags.len())))
+            }
+        }
+        Some(other) => Err(CliError(format!("unknown lint action '{other}' (graph)"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +569,18 @@ mod tests {
     fn unknown_command_fails_with_usage() {
         let err = run_line("frobnicate").unwrap_err();
         assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn lint_verb_runs_the_wall_and_exports_the_graph() {
+        // Tests run from the crate directory; the workspace root is two up.
+        let text = run_line("lint --root ../..").unwrap();
+        assert!(text.contains("clean"), "wall output: {text}");
+        let dot = run_line("lint graph --root ../..").unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+        let err = run_line("lint prune --root ../..").unwrap_err();
+        assert!(err.to_string().contains("unknown lint action"));
     }
 
     #[test]

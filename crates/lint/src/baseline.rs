@@ -1,0 +1,133 @@
+//! Diagnostics-count baseline: a committed snapshot (`lint-baseline.json`)
+//! that lets CI fail on *new* diagnostics even for rules running in
+//! warn-only mode. The format is a single JSON object with per-rule
+//! counts; comparison is one-sided — counts may shrink freely, growth is
+//! a regression.
+
+use crate::rules::RULES;
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Renders the baseline JSON for a diagnostics set: every registered
+/// rule appears with its count (zero included), in registry order.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+    let mut out = String::from("{\n  \"version\": 1,\n  \"rules\": {\n");
+    for (i, rule) in RULES.iter().enumerate() {
+        let sep = if i + 1 == RULES.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {}{sep}\n",
+            rule.id,
+            counts.get(rule.id).copied().unwrap_or(0)
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parses baseline JSON produced by [`render`] into per-rule counts.
+/// Hand-rolled to match exactly that shape; unknown keys are ignored.
+pub fn parse(src: &str) -> Result<BTreeMap<String, usize>, String> {
+    let rules_at = src.find("\"rules\"").ok_or("baseline JSON has no \"rules\" object")?;
+    let open = src[rules_at..]
+        .find('{')
+        .map(|i| rules_at + i)
+        .ok_or("baseline \"rules\" is not an object")?;
+    let close = src[open..]
+        .find('}')
+        .map(|i| open + i)
+        .ok_or("baseline \"rules\" object is unterminated")?;
+    let mut out = BTreeMap::new();
+    for pair in src[open + 1..close].split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) =
+            pair.split_once(':').ok_or_else(|| format!("malformed baseline entry `{pair}`"))?;
+        let key = key.trim().trim_matches('"');
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline count for `{key}` is not a number"))?;
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+/// Compares diagnostics against a baseline. Returns one message per rule
+/// whose count exceeds the recorded one (a rule absent from the baseline
+/// counts as 0 — new rules start strict).
+pub fn compare(baseline: &BTreeMap<String, usize>, diags: &[Diagnostic]) -> Vec<String> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for rule in RULES {
+        let have = counts.get(rule.id).copied().unwrap_or(0);
+        let allowed = baseline.get(rule.id).copied().unwrap_or(0);
+        if have > allowed {
+            out.push(format!(
+                "{}: {} diagnostic(s), baseline allows {} — new findings must be \
+                 fixed (or the baseline regenerated with --write-baseline after review)",
+                rule.id, have, allowed
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: "x.rs".into(),
+            line: 1,
+            item: "i".into(),
+            message: "m".into(),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let diags = vec![diag("R1"), diag("R1"), diag("S4")];
+        let counts = parse(&render(&diags)).expect("parse");
+        assert_eq!(counts["R1"], 2);
+        assert_eq!(counts["S4"], 1);
+        assert_eq!(counts["R2"], 0);
+        // Every registered rule is present.
+        assert_eq!(counts.len(), RULES.len());
+    }
+
+    #[test]
+    fn compare_flags_growth_only() {
+        let baseline = parse(&render(&[diag("R1")])).expect("parse");
+        // Same count: clean. Fewer: clean. More: regression.
+        assert!(compare(&baseline, &[diag("R1")]).is_empty());
+        assert!(compare(&baseline, &[]).is_empty());
+        let msgs = compare(&baseline, &[diag("R1"), diag("R1")]);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].starts_with("R1: 2 diagnostic"));
+    }
+
+    #[test]
+    fn unknown_rule_in_diags_counts_from_zero() {
+        let baseline = parse(&render(&[])).expect("parse");
+        let msgs = compare(&baseline, &[diag("S2")]);
+        assert_eq!(msgs.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"rules\": {\"R1\": \"x\"}}").is_err());
+    }
+}

@@ -1,0 +1,546 @@
+//! Intra-workspace call-graph construction, reachability queries, and
+//! DOT export.
+//!
+//! Call sites are resolved against the [`SymbolTable`] with deliberately
+//! over-approximating heuristics (a method call can resolve to every
+//! same-named method whose crate the caller may depend on), then pruned
+//! by the static crate-dependency table so impossible cross-crate edges
+//! never appear. DESIGN.md §8 documents the soundness limits.
+
+use crate::parse::ParsedFile;
+use crate::symbols::{crate_ident, FnId, FnInfo, SymbolTable};
+use crate::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Direct dependencies of each workspace package; used to reject call
+/// edges between crates that cannot see each other. Unknown packages
+/// (e.g. lint-test fixtures under invented names) allow everything.
+const DEPS: &[(&str, &[&str])] = &[
+    ("simpadv-trace", &[]),
+    ("simpadv-obs", &["simpadv-trace"]),
+    ("simpadv-runtime", &["simpadv-trace"]),
+    ("simpadv-tensor", &["simpadv-trace", "simpadv-runtime"]),
+    ("simpadv-nn", &["simpadv-trace", "simpadv-resilience", "simpadv-tensor"]),
+    ("simpadv-data", &["simpadv-resilience", "simpadv-tensor"]),
+    ("simpadv-attacks", &["simpadv-trace", "simpadv-runtime", "simpadv-tensor", "simpadv-nn"]),
+    ("simpadv-resilience", &["simpadv-trace"]),
+    (
+        "simpadv",
+        &[
+            "simpadv-trace",
+            "simpadv-resilience",
+            "simpadv-runtime",
+            "simpadv-tensor",
+            "simpadv-nn",
+            "simpadv-data",
+            "simpadv-attacks",
+        ],
+    ),
+    ("simpadv-cli", &["simpadv", "simpadv-obs", "simpadv-lint"]),
+    ("simpadv-bench", &["simpadv", "simpadv-obs"]),
+    ("simpadv-lint", &[]),
+    ("simpadv-suite", &["simpadv", "simpadv-obs", "simpadv-cli", "simpadv-bench"]),
+];
+
+/// Identifiers that look like calls (`name(`) but are keywords.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "fn", "impl", "let",
+    "mut", "ref", "box", "unsafe", "else", "dyn", "where", "pub", "use", "mod",
+];
+
+/// Resolves call sites against the symbol table.
+pub struct Resolver<'a> {
+    symbols: &'a SymbolTable,
+    /// Transitive dependency closure by package name.
+    closure: BTreeMap<&'static str, BTreeSet<&'static str>>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Builds a resolver (computes the dependency closure once).
+    pub fn new(symbols: &'a SymbolTable) -> Resolver<'a> {
+        let mut closure: BTreeMap<&'static str, BTreeSet<&'static str>> = BTreeMap::new();
+        for (pkg, _) in DEPS {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![*pkg];
+            while let Some(c) = stack.pop() {
+                if let Some((_, deps)) = DEPS.iter().find(|(name, _)| *name == c) {
+                    for d in *deps {
+                        if seen.insert(*d) {
+                            stack.push(d);
+                        }
+                    }
+                }
+            }
+            closure.insert(pkg, seen);
+        }
+        Resolver { symbols, closure }
+    }
+
+    /// Whether code in `caller` may call into `callee` (crate level).
+    pub fn crate_allows(&self, caller: &str, callee: &str) -> bool {
+        if caller == callee {
+            return true;
+        }
+        match self.closure.get(caller) {
+            Some(deps) => deps.contains(callee),
+            // Unknown caller crate (fixtures): allow everything.
+            None => true,
+        }
+    }
+
+    fn dep_filter(&self, caller_crate: &str, mut cands: Vec<FnId>) -> Vec<FnId> {
+        cands.retain(|&id| {
+            let f = &self.symbols.fns[id as usize];
+            self.crate_allows(caller_crate, &f.crate_name)
+        });
+        cands
+    }
+
+    fn methods_named(&self, name: &str) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for ((_, m), ids) in &self.symbols.by_method {
+            if m == name {
+                out.extend(ids.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Resolves path segments ending in a free-function name: filters
+    /// candidates by crate ident and module segments.
+    fn resolve_path(&self, caller: &FnInfo, segs: &[String]) -> Vec<FnId> {
+        let Some(name) = segs.last() else { return Vec::new() };
+        let Some(ids) = self.symbols.by_name.get(name.as_str()) else { return Vec::new() };
+        let inter = &segs[..segs.len() - 1];
+        let mut out = Vec::new();
+        for &id in ids {
+            let f = &self.symbols.fns[id as usize];
+            let f_crate = crate_ident(&f.crate_name);
+            let mut rest: Vec<&String> = inter.iter().collect();
+            // A leading crate qualifier must match the candidate's crate
+            // (`crate`/`self`/`super` pin the caller's own crate).
+            if let Some(first) = rest.first() {
+                if matches!(first.as_str(), "crate" | "self" | "super") {
+                    if f.crate_name != caller.crate_name {
+                        continue;
+                    }
+                    rest.remove(0);
+                } else if **first == f_crate {
+                    rest.remove(0);
+                } else if DEPS.iter().any(|(pkg, _)| crate_ident(pkg) == **first) {
+                    // Names another workspace crate: not this candidate.
+                    continue;
+                }
+            }
+            // Remaining segments must all be module components of the
+            // candidate; external paths (std::mem::take) die here.
+            if rest.iter().all(|s| f.module.contains(s)) {
+                out.push(id);
+            } else {
+                continue;
+            }
+            // A bare unqualified tail with no crate segment must stay
+            // within the caller's crate unless an import said otherwise
+            // — handled by the callers of resolve_path.
+        }
+        self.dep_filter(&caller.crate_name, out)
+    }
+
+    /// Resolves the call at token `i` of `caller`'s file (`i` must be an
+    /// identifier directly followed by `(`). Returns every function the
+    /// call may reach, dependency-filtered.
+    pub fn resolve_call(&self, p: &ParsedFile, caller: &FnInfo, i: usize) -> Vec<FnId> {
+        let Some(name) = p.ident(i) else { return Vec::new() };
+        // Method call: `recv.name(...)`.
+        if i > 0 && p.is_punct(i - 1, '.') {
+            // `self.name(...)` with a known impl type narrows to that
+            // type's methods when it has any.
+            if i >= 2 && p.ident(i - 2) == Some("self") && !(i >= 3 && p.is_punct(i - 3, '.')) {
+                if let Some(t) = &caller.impl_type {
+                    if let Some(ids) = self.symbols.by_method.get(&(t.clone(), name.to_string())) {
+                        return self.dep_filter(&caller.crate_name, ids.clone());
+                    }
+                }
+            }
+            return self.dep_filter(&caller.crate_name, self.methods_named(name));
+        }
+        // Qualified call: `a::b::name(...)`.
+        if i >= 3 && p.is_punct(i - 1, ':') && p.is_punct(i - 2, ':') && p.ident(i - 3).is_some() {
+            let mut segs = vec![name.to_string()];
+            let mut k = i;
+            while k >= 3 && p.is_punct(k - 1, ':') && p.is_punct(k - 2, ':') {
+                let Some(s) = p.ident(k - 3) else { break };
+                segs.insert(0, s.to_string());
+                k -= 3;
+            }
+            if segs.first().map(String::as_str) == Some("Self") {
+                if let Some(t) = &caller.impl_type {
+                    segs[0] = t.clone();
+                }
+            }
+            // `Type::name(...)`: qualifier is a known impl type.
+            let qualifier = segs[segs.len() - 2].clone();
+            if let Some(ids) = self.symbols.by_method.get(&(qualifier, name.to_string())) {
+                return self.dep_filter(&caller.crate_name, ids.clone());
+            }
+            // An imported qualifier expands to its full path.
+            if let Some(full) = self.symbols.imports[caller.file].get(&segs[0]) {
+                let mut expanded = full.clone();
+                expanded.extend(segs[1..].iter().cloned());
+                segs = expanded;
+            }
+            return self.resolve_path(caller, &segs);
+        }
+        // Bare call: `name(...)`.
+        if CALL_KEYWORDS.contains(&name) {
+            return Vec::new();
+        }
+        if let Some(ids) = self.symbols.by_name.get(name) {
+            let same_crate: Vec<FnId> = ids
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let f = &self.symbols.fns[id as usize];
+                    f.crate_name == caller.crate_name && f.impl_type.is_none()
+                })
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+        }
+        // An import can bring a free function (possibly renamed) into
+        // scope from another crate.
+        if let Some(full) = self.symbols.imports[caller.file].get(name) {
+            return self.resolve_path(caller, full);
+        }
+        Vec::new()
+    }
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Display label per node (same indexing as [`SymbolTable::fns`]).
+    pub labels: Vec<String>,
+    /// Forward edges: callees per caller.
+    pub edges: Vec<BTreeSet<FnId>>,
+    /// Reverse edges: callers per callee.
+    pub redges: Vec<BTreeSet<FnId>>,
+}
+
+/// Token ranges of functions nested inside `body` (to exclude a nested
+/// `fn helper(..)` signature and body from the parent's call sites).
+fn nested_fn_ranges(p: &ParsedFile, body: &Range<usize>, own: &Range<usize>) -> Vec<Range<usize>> {
+    p.functions
+        .iter()
+        .filter(|g| {
+            !g.body.is_empty()
+                && g.body.start > body.start
+                && g.body.end <= body.end
+                && g.body != *own
+        })
+        .map(|g| g.body.clone())
+        .collect()
+}
+
+/// Yields the token indices of call sites (`ident` directly followed by
+/// `(`) in `range`, skipping nested-function sub-ranges and the `fn name(`
+/// of nested declarations.
+pub fn call_sites(p: &ParsedFile, range: Range<usize>, skip: &[Range<usize>]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i < range.end {
+        if let Some(r) = skip.iter().find(|r| r.contains(&i)) {
+            i = r.end;
+            continue;
+        }
+        if p.ident(i).is_some() && p.is_open(i + 1, '(') && !(i > 0 && p.ident(i - 1) == Some("fn"))
+        {
+            out.push(i);
+        }
+        i += 1;
+    }
+    out
+}
+
+impl CallGraph {
+    /// Builds the call graph over the workspace.
+    pub fn build(symbols: &SymbolTable, ws: &Workspace) -> CallGraph {
+        let resolver = Resolver::new(symbols);
+        let n = symbols.fns.len();
+        let mut labels: Vec<String> = (0..n as FnId).map(|id| symbols.label(id)).collect();
+        // Disambiguate duplicate labels (trait impls share method names).
+        let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+        for l in &labels {
+            *seen.entry(l.clone()).or_insert(0) += 1;
+        }
+        for (i, l) in labels.iter_mut().enumerate() {
+            if seen[l.as_str()] > 1 {
+                let f = &symbols.fns[i];
+                l.push_str(&format!("@{}", f.line));
+            }
+        }
+        let mut edges: Vec<BTreeSet<FnId>> = vec![BTreeSet::new(); n];
+        let mut redges: Vec<BTreeSet<FnId>> = vec![BTreeSet::new(); n];
+        for (id, f) in symbols.fns.iter().enumerate() {
+            if f.body.is_empty() {
+                continue;
+            }
+            let p = &ws.files[f.file].parsed;
+            let skip = nested_fn_ranges(p, &f.body, &f.body);
+            for site in call_sites(p, f.body.clone(), &skip) {
+                for callee in resolver.resolve_call(p, f, site) {
+                    edges[id].insert(callee);
+                    redges[callee as usize].insert(id as FnId);
+                }
+            }
+        }
+        CallGraph { labels, edges, redges }
+    }
+
+    /// Builds a synthetic graph from explicit edges (tests, properties).
+    pub fn from_edges(n: usize, edge_list: &[(FnId, FnId)]) -> CallGraph {
+        let labels = (0..n).map(|i| format!("n{i}")).collect();
+        let mut edges: Vec<BTreeSet<FnId>> = vec![BTreeSet::new(); n];
+        let mut redges: Vec<BTreeSet<FnId>> = vec![BTreeSet::new(); n];
+        for &(a, b) in edge_list {
+            if (a as usize) < n && (b as usize) < n {
+                edges[a as usize].insert(b);
+                redges[b as usize].insert(a);
+            }
+        }
+        CallGraph { labels, edges, redges }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(BTreeSet::len).sum()
+    }
+
+    /// All nodes reachable from `start` (including `start`).
+    pub fn reachable(&self, start: FnId) -> BTreeSet<FnId> {
+        bfs_all(&self.edges, &[start])
+    }
+
+    /// Shortest path (BFS) from `start` to any node satisfying `target`,
+    /// following forward edges. Includes both endpoints; `start` itself
+    /// is a valid target.
+    pub fn path_to(&self, start: FnId, target: &dyn Fn(FnId) -> bool) -> Option<Vec<FnId>> {
+        bfs_path(&self.edges, start, target)
+    }
+
+    /// Like [`CallGraph::path_to`] but over reverse edges (who calls me).
+    pub fn rpath_to(&self, start: FnId, target: &dyn Fn(FnId) -> bool) -> Option<Vec<FnId>> {
+        bfs_path(&self.redges, start, target)
+    }
+
+    /// Renders the graph in Graphviz DOT format. Every node appears on
+    /// its own line, then every edge; both sorted and deterministic.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph callgraph {\n");
+        for l in &self.labels {
+            out.push_str(&format!("  \"{}\";\n", escape(l)));
+        }
+        for (a, callees) in self.edges.iter().enumerate() {
+            for &b in callees {
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    escape(&self.labels[a]),
+                    escape(&self.labels[b as usize])
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Counts (nodes, edges) in DOT text produced by [`CallGraph::to_dot`].
+pub fn parse_dot_counts(dot: &str) -> Option<(usize, usize)> {
+    let mut nodes = 0;
+    let mut edges = 0;
+    let mut saw_header = false;
+    for line in dot.lines() {
+        let line = line.trim();
+        if line.starts_with("digraph") {
+            saw_header = true;
+        } else if line.contains("->") {
+            edges += 1;
+        } else if line.starts_with('"') && line.ends_with(';') {
+            nodes += 1;
+        }
+    }
+    saw_header.then_some((nodes, edges))
+}
+
+fn bfs_all(adj: &[BTreeSet<FnId>], starts: &[FnId]) -> BTreeSet<FnId> {
+    let mut seen: BTreeSet<FnId> = starts.iter().copied().collect();
+    let mut queue: Vec<FnId> = starts.to_vec();
+    let mut qi = 0;
+    while qi < queue.len() {
+        let u = queue[qi];
+        qi += 1;
+        for &v in &adj[u as usize] {
+            if seen.insert(v) {
+                queue.push(v);
+            }
+        }
+    }
+    seen
+}
+
+fn bfs_path(
+    adj: &[BTreeSet<FnId>],
+    start: FnId,
+    target: &dyn Fn(FnId) -> bool,
+) -> Option<Vec<FnId>> {
+    if target(start) {
+        return Some(vec![start]);
+    }
+    let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+    let mut queue: Vec<FnId> = vec![start];
+    let mut seen: BTreeSet<FnId> = [start].into();
+    let mut qi = 0;
+    while qi < queue.len() {
+        let u = queue[qi];
+        qi += 1;
+        for &v in &adj[u as usize] {
+            if !seen.insert(v) {
+                continue;
+            }
+            parent.insert(v, u);
+            if target(v) {
+                let mut path = vec![v];
+                let mut cur = v;
+                while let Some(&p) = parent.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymbolTable;
+    use crate::FileUnit;
+
+    fn graph(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let ws = Workspace {
+            files: files.iter().map(|(path, src)| FileUnit::from_source(path, src)).collect(),
+        };
+        let symbols = SymbolTable::build(&ws);
+        let g = CallGraph::build(&symbols, &ws);
+        (symbols, g)
+    }
+
+    fn id_of(s: &SymbolTable, name: &str) -> FnId {
+        s.by_name[name][0]
+    }
+
+    #[test]
+    fn bare_and_qualified_calls_resolve_within_and_across_crates() {
+        let (s, g) = graph(&[
+            (
+                "crates/nn/src/lib.rs",
+                "pub fn entry() { helper(); simpadv_tensor::scale(1.0); }\nfn helper() {}",
+            ),
+            ("crates/tensor/src/lib.rs", "pub fn scale(x: f32) -> f32 { x }"),
+        ]);
+        let entry = id_of(&s, "entry");
+        let reach = g.reachable(entry);
+        assert!(reach.contains(&id_of(&s, "helper")));
+        assert!(reach.contains(&id_of(&s, "scale")));
+    }
+
+    #[test]
+    fn dependency_filter_rejects_impossible_edges() {
+        // trace does not depend on tensor, so `.max(..)` there cannot
+        // resolve to Tensor::max.
+        let (s, g) = graph(&[
+            ("crates/trace/src/histogram.rs", "pub fn record(m: f32, v: f32) -> f32 { m.max(v) }"),
+            ("crates/tensor/src/reduce.rs", "impl Tensor { pub fn max(&self) -> f32 { 0.0 } }"),
+        ]);
+        let record = id_of(&s, "record");
+        assert!(!g.reachable(record).contains(&id_of(&s, "max")));
+    }
+
+    #[test]
+    fn self_method_calls_narrow_to_the_impl_type() {
+        let (s, g) = graph(&[(
+            "crates/tensor/src/lib.rs",
+            r#"
+impl Tensor {
+    pub fn mean(&self) -> f32 { self.sum() }
+    fn sum(&self) -> f32 { 0.0 }
+}
+impl Other {
+    fn sum(&self) -> f32 { 1.0 }
+}
+"#,
+        )]);
+        let mean = id_of(&s, "mean");
+        let tensor_sum = s.by_method[&("Tensor".to_string(), "sum".to_string())][0];
+        let other_sum = s.by_method[&("Other".to_string(), "sum".to_string())][0];
+        assert!(g.edges[mean as usize].contains(&tensor_sum));
+        assert!(!g.edges[mean as usize].contains(&other_sum));
+    }
+
+    #[test]
+    fn imported_functions_resolve_cross_crate() {
+        let (s, g) = graph(&[
+            (
+                "crates/nn/src/lib.rs",
+                "use simpadv_tensor::scale;\npub fn entry() -> f32 { scale(2.0) }",
+            ),
+            ("crates/tensor/src/lib.rs", "pub fn scale(x: f32) -> f32 { x }"),
+        ]);
+        assert!(g.reachable(id_of(&s, "entry")).contains(&id_of(&s, "scale")));
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_the_parents_call_sites() {
+        let (s, g) = graph(&[(
+            "crates/tensor/src/lib.rs",
+            "pub fn outer() { fn inner() { secret(); } inner(); }\nfn secret() {}",
+        )]);
+        let outer = id_of(&s, "outer");
+        // outer calls inner, inner calls secret; outer has no direct
+        // edge to secret.
+        assert!(g.edges[outer as usize].contains(&id_of(&s, "inner")));
+        assert!(!g.edges[outer as usize].contains(&id_of(&s, "secret")));
+        assert!(g.reachable(outer).contains(&id_of(&s, "secret")));
+    }
+
+    #[test]
+    fn dot_round_trips_node_and_edge_counts() {
+        let g = CallGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let dot = g.to_dot();
+        assert_eq!(parse_dot_counts(&dot), Some((4, 3)));
+    }
+
+    #[test]
+    fn path_to_returns_shortest_chain() {
+        let g = CallGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
+        let path = g.path_to(0, &|id| id == 3).expect("reachable");
+        assert_eq!(path.len(), 3); // 0 -> 1|4 -> 3 is impossible; 0->4->3
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), 3);
+    }
+}

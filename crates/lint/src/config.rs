@@ -1,18 +1,28 @@
-//! `lint.toml` allowlist: intentional, documented exceptions to the rules.
+//! `lint.toml`: allowlist entries plus the S-rule declaration tables.
 //!
-//! The file is a sequence of `[[allow]]` tables:
+//! The file is a sequence of tables:
 //!
 //! ```toml
-//! [[allow]]
+//! [[allow]]                 # intentional exception to a rule
 //! rule = "R1"
 //! path = "crates/nn/src/pool.rs"
-//! item = "expect"          # optional: restrict to one offending item
+//! item = "expect"           # optional: restrict to one offending item
 //! reason = "backward() has a documented forward-first contract"
+//!
+//! [[taint]]                 # S2 determinism sink declaration
+//! path = "crates/trace/src/clock.rs"
+//! item = "tick_forward"
+//! reason = "logical counter; must stay thread- and wall-clock-invariant"
+//!
+//! [[kernel]]                # S4 canonical accumulation kernel
+//! path = "crates/tensor/src/ops.rs"
+//! item = "add_assign"
+//! reason = "the one sanctioned elementwise += loop"
 //! ```
 //!
-//! `rule` and `path` are required; `reason` is required too so every
-//! exception carries its justification into review. The parser covers
-//! exactly this subset of TOML (comments, `[[allow]]` headers, and
+//! `path` is required everywhere; `reason` is required too so every
+//! declaration carries its justification into review. The parser covers
+//! exactly this subset of TOML (comments, `[[name]]` headers, and
 //! `key = "string"` pairs) — anything else is a configuration error.
 
 /// One allowlist entry.
@@ -28,11 +38,39 @@ pub struct AllowEntry {
     pub reason: String,
 }
 
+/// One S2 sink declaration: a function whose inputs must stay free of
+/// determinism taint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintSink {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Function name.
+    pub item: String,
+    /// Why this function is a determinism sink.
+    pub reason: String,
+}
+
+/// One S4 kernel declaration: a function allowed to contain raw `+=`
+/// float accumulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelEntry {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Function name.
+    pub item: String,
+    /// Why this is a canonical accumulation kernel.
+    pub reason: String,
+}
+
 /// Parsed configuration.
 #[derive(Debug, Default)]
 pub struct Config {
     /// All allowlist entries.
     pub allows: Vec<AllowEntry>,
+    /// S2 determinism sinks.
+    pub taints: Vec<TaintSink>,
+    /// S4 canonical kernels.
+    pub kernels: Vec<KernelEntry>,
 }
 
 impl Config {
@@ -66,24 +104,81 @@ fn err(line: usize, message: impl Into<String>) -> ConfigError {
     ConfigError { line, message: message.into() }
 }
 
+/// Which table a partial entry is being collected for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Allow,
+    Taint,
+    Kernel,
+}
+
+impl Section {
+    fn name(self) -> &'static str {
+        match self {
+            Section::Allow => "allow",
+            Section::Taint => "taint",
+            Section::Kernel => "kernel",
+        }
+    }
+}
+
 /// Parses `lint.toml` source text.
 pub fn parse(src: &str) -> Result<Config, ConfigError> {
     struct Partial {
+        section: Section,
         line: usize,
         rule: Option<String>,
         path: Option<String>,
         item: Option<String>,
         reason: Option<String>,
     }
-    fn finish(p: Partial) -> Result<AllowEntry, ConfigError> {
-        Ok(AllowEntry {
-            rule: p.rule.ok_or_else(|| err(p.line, "[[allow]] missing `rule`"))?,
-            path: p.path.ok_or_else(|| err(p.line, "[[allow]] missing `path`"))?,
-            item: p.item,
-            reason: p.reason.ok_or_else(|| {
-                err(p.line, "[[allow]] missing `reason` — every exception must be justified")
-            })?,
-        })
+    fn finish(cfg: &mut Config, p: Partial) -> Result<(), ConfigError> {
+        let need = |field: Option<String>, name: &str| {
+            field.ok_or_else(|| err(p.line, format!("[[{}]] missing `{name}`", p.section.name())))
+        };
+        let reason = p.reason.ok_or_else(|| {
+            err(
+                p.line,
+                format!(
+                    "[[{}]] missing `reason` — every entry must be justified",
+                    p.section.name()
+                ),
+            )
+        })?;
+        match p.section {
+            Section::Allow => {
+                let Some(rule) = p.rule else {
+                    return Err(err(p.line, "[[allow]] missing `rule`"));
+                };
+                cfg.allows.push(AllowEntry {
+                    rule,
+                    path: need(p.path, "path")?,
+                    item: p.item,
+                    reason,
+                });
+            }
+            Section::Taint => {
+                if p.rule.is_some() {
+                    return Err(err(p.line, "`rule` is not a [[taint]] key"));
+                }
+                cfg.taints.push(TaintSink {
+                    path: need(p.path, "path")?,
+                    item: need(p.item, "item")?,
+                    reason,
+                });
+            }
+            Section::Kernel => {
+                if p.rule.is_some() {
+                    return Err(err(p.line, "`rule` is not a [[kernel]] key"));
+                }
+                cfg.kernels.push(KernelEntry {
+                    path: need(p.path, "path")?,
+                    item: need(p.item, "item")?,
+                    reason,
+                });
+            }
+        }
+        Ok(())
     }
 
     let mut cfg = Config::default();
@@ -94,18 +189,33 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if line == "[[allow]]" {
+        let section = match line {
+            "[[allow]]" => Some(Section::Allow),
+            "[[taint]]" => Some(Section::Taint),
+            "[[kernel]]" => Some(Section::Kernel),
+            _ => None,
+        };
+        if let Some(section) = section {
             if let Some(p) = current.take() {
-                cfg.allows.push(finish(p)?);
+                finish(&mut cfg, p)?;
             }
-            current =
-                Some(Partial { line: lineno, rule: None, path: None, item: None, reason: None });
+            current = Some(Partial {
+                section,
+                line: lineno,
+                rule: None,
+                path: None,
+                item: None,
+                reason: None,
+            });
             continue;
         }
         if line.starts_with('[') {
             return Err(err(
                 lineno,
-                format!("unsupported section `{line}` (only [[allow]] is recognized)"),
+                format!(
+                    "unsupported section `{line}` (only [[allow]], [[taint]] and \
+                     [[kernel]] are recognized)"
+                ),
             ));
         }
         let Some(eq) = line.find('=') else {
@@ -117,18 +227,23 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
             err(lineno, format!("value for `{key}` must be a double-quoted string"))
         })?;
         let Some(p) = current.as_mut() else {
-            return Err(err(lineno, format!("`{key}` outside of an [[allow]] table")));
+            return Err(err(lineno, format!("`{key}` outside of a table header")));
         };
         match key {
             "rule" => p.rule = Some(value.to_string()),
             "path" => p.path = Some(value.to_string()),
             "item" => p.item = Some(value.to_string()),
             "reason" => p.reason = Some(value.to_string()),
-            other => return Err(err(lineno, format!("unknown key `{other}` in [[allow]]"))),
+            other => {
+                return Err(err(
+                    lineno,
+                    format!("unknown key `{other}` in [[{}]]", p.section.name()),
+                ));
+            }
         }
     }
     if let Some(p) = current.take() {
-        cfg.allows.push(finish(p)?);
+        finish(&mut cfg, p)?;
     }
     Ok(cfg)
 }
@@ -164,8 +279,41 @@ reason = "binary crate help text"
     }
 
     #[test]
+    fn parses_taint_and_kernel_tables() {
+        let cfg = parse(
+            r#"
+[[taint]]
+path = "crates/trace/src/clock.rs"
+item = "tick_forward"
+reason = "logical counter"
+
+[[kernel]]
+path = "crates/tensor/src/ops.rs"
+item = "add_assign"
+reason = "sanctioned elementwise accumulation"
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.taints.len(), 1);
+        assert_eq!(cfg.taints[0].item, "tick_forward");
+        assert_eq!(cfg.kernels.len(), 1);
+        assert_eq!(cfg.kernels[0].path, "crates/tensor/src/ops.rs");
+    }
+
+    #[test]
+    fn taint_requires_item_and_rejects_rule() {
+        let e = parse("[[taint]]\npath = \"x.rs\"\nreason = \"r\"\n").unwrap_err();
+        assert!(e.message.contains("item"));
+        let e = parse("[[taint]]\nrule = \"S2\"\npath = \"x\"\nitem = \"f\"\nreason = \"r\"\n")
+            .unwrap_err();
+        assert!(e.message.contains("rule"));
+    }
+
+    #[test]
     fn missing_reason_is_an_error() {
         let e = parse("[[allow]]\nrule = \"R1\"\npath = \"x.rs\"\n").unwrap_err();
+        assert!(e.message.contains("reason"));
+        let e = parse("[[kernel]]\npath = \"x.rs\"\nitem = \"f\"\n").unwrap_err();
         assert!(e.message.contains("reason"));
     }
 
@@ -185,6 +333,6 @@ reason = "binary crate help text"
     #[test]
     fn empty_config_is_fine() {
         let cfg = parse("# nothing here\n").expect("empty ok");
-        assert!(cfg.allows.is_empty());
+        assert!(cfg.allows.is_empty() && cfg.taints.is_empty() && cfg.kernels.is_empty());
     }
 }

@@ -3,19 +3,28 @@
 //!
 //! The analyzer parses every `.rs` file in the workspace with a
 //! self-contained lexer (no external parser dependency — the build
-//! environment is offline) and enforces ten invariants the stack's
-//! correctness rests on; see [`rules::RULES`] for the catalogue and
-//! `DESIGN.md` for the rationale behind each. Diagnostics are rendered
-//! rustc-style (`error[R3]: ... --> path:line`), optionally as JSON, and
+//! environment is offline) and enforces fifteen invariants the stack's
+//! correctness rests on: ten file-local syntactic rules (R1–R10) and
+//! five workspace-wide semantic rules (S1–S5) that reason over a symbol
+//! table, call graph and taint lattice. See [`rules::RULES`] for the
+//! catalogue and `DESIGN.md` for the rationale behind each. Diagnostics
+//! are rendered rustc-style (`error[R3]: ... --> path:line`, with call
+//! chains as `note:` lines for the S-rules), optionally as JSON, and
 //! `--deny` turns any finding into a non-zero exit for CI.
 //!
 //! Intentional exceptions live in `lint.toml` at the workspace root; every
-//! entry must carry a `reason`.
+//! entry must carry a `reason`. The same file declares the S2 taint sinks
+//! (`[[taint]]`) and S4 canonical kernels (`[[kernel]]`).
 
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
+pub mod flow;
 pub mod lexer;
 pub mod parse;
 pub mod rules;
+pub mod semrules;
+pub mod symbols;
 
 use std::io::Read;
 use std::path::{Path, PathBuf};
@@ -101,7 +110,7 @@ pub struct Workspace {
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Rule id (`R1`..`R9`).
+    /// Rule id (`R1`..`R10`, `S1`..`S5`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -112,23 +121,39 @@ pub struct Diagnostic {
     pub item: String,
     /// Human-readable explanation.
     pub message: String,
+    /// Call chain for semantic rules (`crate::Type::fn (path:line)` per
+    /// hop, caller first); empty for syntactic rules.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
-    /// Renders the diagnostic rustc-style.
+    /// Renders the diagnostic rustc-style; call-chain hops become
+    /// `note:` lines.
     pub fn render(&self) -> String {
-        format!("error[{}]: {}\n  --> {}:{}\n", self.rule, self.message, self.path, self.line)
+        let mut out =
+            format!("error[{}]: {}\n  --> {}:{}\n", self.rule, self.message, self.path, self.line);
+        for (i, hop) in self.chain.iter().enumerate() {
+            out.push_str(&format!("  note: [{i}] {hop}\n"));
+        }
+        out
     }
 
     /// Renders the diagnostic as a JSON object.
     pub fn to_json(&self) -> String {
+        let chain = if self.chain.is_empty() {
+            String::from("[]")
+        } else {
+            let hops: Vec<String> = self.chain.iter().map(|h| json_str(h)).collect();
+            format!("[{}]", hops.join(","))
+        };
         format!(
-            "{{\"rule\":{},\"path\":{},\"line\":{},\"item\":{},\"message\":{}}}",
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"item\":{},\"message\":{},\"chain\":{}}}",
             json_str(self.rule),
             json_str(&self.path),
             self.line,
             json_str(&self.item),
-            json_str(&self.message)
+            json_str(&self.message),
+            chain
         )
     }
 }
@@ -174,8 +199,10 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
 
 /// Directories the walker never descends into. `shims/` holds vendored
 /// API-compatibility stubs for external crates (offline environment) and
-/// is third-party surface, not project code.
-const SKIP_DIRS: &[&str] = &["target", "shims", ".git", ".github", "node_modules"];
+/// is third-party surface, not project code; `fixtures/` holds the lint
+/// suite's own planted-violation corpora, which must never join the real
+/// wall.
+const SKIP_DIRS: &[&str] = &["target", "shims", ".git", ".github", "node_modules", "fixtures"];
 
 /// Recursively collects and parses every `.rs` file under `root`.
 ///
@@ -222,15 +249,30 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 
 /// Runs rules over the workspace, applies the allowlist, and returns
 /// diagnostics sorted by path, line, and rule id.
-pub fn run(ws: &Workspace, cfg: &config::Config, only_rule: Option<&str>) -> Vec<Diagnostic> {
+///
+/// `spec` filters the registry: `None` runs everything, otherwise a
+/// comma list of ids and ranges (`R1-R10,S2`) as accepted by
+/// [`rules::expand_spec`]. An invalid spec selects nothing here — the
+/// CLI validates specs before calling.
+///
+/// The semantic model (symbol table, call graph, taint sources) is
+/// built only when at least one S-rule is selected.
+pub fn run(ws: &Workspace, cfg: &config::Config, spec: Option<&str>) -> Vec<Diagnostic> {
+    let selected: Option<Vec<&str>> = spec.map(|s| rules::expand_spec(s).unwrap_or_default());
+    let wants = |id: &str| selected.as_ref().is_none_or(|ids| ids.contains(&id));
+    let mut model: Option<semrules::SemanticModel> = None;
     let mut out = Vec::new();
     for rule in rules::RULES {
-        if let Some(only) = only_rule {
-            if rule.id != only {
-                continue;
+        if !wants(rule.id) {
+            continue;
+        }
+        match rule.check {
+            rules::Check::Syntactic(f) => out.extend(f(ws)),
+            rules::Check::Semantic(f) => {
+                let model = model.get_or_insert_with(|| semrules::SemanticModel::build(ws));
+                out.extend(f(&semrules::SemanticCtx { ws, cfg, model }));
             }
         }
-        out.extend((rule.check)(ws));
     }
     out.retain(|d| !cfg.is_allowed(d.rule, &d.path, &d.item));
     out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
@@ -298,12 +340,43 @@ mod tests {
             line: 3,
             item: "unwrap".into(),
             message: "say \"no\"".into(),
+            chain: Vec::new(),
         };
         assert_eq!(
             d.to_json(),
-            "{\"rule\":\"R1\",\"path\":\"a.rs\",\"line\":3,\"item\":\"unwrap\",\"message\":\"say \\\"no\\\"\"}"
+            "{\"rule\":\"R1\",\"path\":\"a.rs\",\"line\":3,\"item\":\"unwrap\",\"message\":\"say \\\"no\\\"\",\"chain\":[]}"
         );
         let arr = render_json(&[d]);
         assert!(arr.starts_with("[\n") && arr.ends_with("]\n"));
+    }
+
+    #[test]
+    fn chain_renders_as_note_lines_and_json_array() {
+        let d = Diagnostic {
+            rule: "S1",
+            path: "a.rs".into(),
+            line: 3,
+            item: "entry".into(),
+            message: "reachable panic".into(),
+            chain: vec!["a::entry (a.rs:3)".into(), "a::deep (a.rs:9)".into()],
+        };
+        let text = d.render();
+        assert!(text.contains("note: [0] a::entry (a.rs:3)"));
+        assert!(text.contains("note: [1] a::deep (a.rs:9)"));
+        assert!(d.to_json().contains("\"chain\":[\"a::entry (a.rs:3)\",\"a::deep (a.rs:9)\"]"));
+    }
+
+    #[test]
+    fn run_accepts_specs_with_ranges() {
+        let ws = Workspace {
+            files: vec![FileUnit::from_source(
+                "crates/tensor/src/ops.rs",
+                "pub fn f(x: Option<f32>) -> f32 { x.unwrap() }",
+            )],
+        };
+        let cfg = config::Config::default();
+        // R1 fires under a range spec that includes it, not under S-only.
+        assert!(!run(&ws, &cfg, Some("R1-R3")).is_empty());
+        assert!(run(&ws, &cfg, Some("S1-S5")).is_empty());
     }
 }

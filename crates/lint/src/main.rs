@@ -1,46 +1,80 @@
 //! CLI entry point for `simpadv-lint`.
 //!
 //! ```text
-//! simpadv-lint [--root DIR] [--config FILE] [--rule RN] [--json] [--deny] [--list]
+//! simpadv-lint [--root DIR] [--config FILE] [--rules SPEC] [--json] [--deny]
+//!              [--baseline FILE] [--write-baseline] [--list]
+//! simpadv-lint graph --dot [--root DIR]
 //! ```
 //!
-//! Exit codes: `0` clean (or findings without `--deny`), `1` findings with
-//! `--deny`, `2` usage or configuration error.
+//! Exit codes:
+//! - `0` — clean: no diagnostics, or diagnostics without `--deny`, and no
+//!   baseline regressions
+//! - `1` — findings with `--deny`, or counts above the `--baseline`
+//!   snapshot
+//! - `2` — usage or configuration error (bad flags, malformed lint.toml
+//!   or baseline file, unreadable root)
+//!
+//! The tool never writes files (that is R9's job to police): `graph
+//! --dot` and `--write-baseline` print to stdout for the caller to
+//! redirect.
 
-use simpadv_lint::{collect_files, config, render_json, rules, run};
+use simpadv_lint::{baseline, collect_files, config, render_json, rules, run, semrules};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
-    rule: Option<String>,
+    rules: Option<String>,
     json: bool,
     deny: bool,
     list: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    graph: bool,
+    dot: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: simpadv-lint [--root DIR] [--config FILE] [--rule RN] [--json] [--deny] [--list]\n\
+    "usage: simpadv-lint [--root DIR] [--config FILE] [--rules SPEC] [--json] [--deny]\n\
+     \x20                   [--baseline FILE] [--write-baseline] [--list]\n\
+     \x20      simpadv-lint graph --dot [--root DIR]\n\
      \n\
-     --root DIR     workspace root to analyze (default: current directory)\n\
-     --config FILE  allowlist file (default: <root>/lint.toml if present)\n\
-     --rule RN      run a single rule (R1..R10)\n\
-     --json         emit diagnostics as a JSON array\n\
-     --deny         exit non-zero when any diagnostic is emitted (CI mode)\n\
-     --list         print the rule catalogue and exit\n"
+     --root DIR       workspace root to analyze (default: current directory)\n\
+     --config FILE    lint.toml (default: <root>/lint.toml if present)\n\
+     --rules SPEC     comma list of ids/ranges: R1, R1-R10, S1-S5, R2,S4 ...\n\
+     --rule RN        alias for --rules with a single id\n\
+     --json           emit diagnostics as a JSON array\n\
+     --deny           exit 1 when any diagnostic is emitted (CI mode)\n\
+     --baseline FILE  compare per-rule counts against a committed snapshot;\n\
+     \x20                exit 1 on any rule above its recorded count\n\
+     --write-baseline print the current counts as baseline JSON on stdout\n\
+     --list           print the rule catalogue (R-tier, then S-tier) and exit\n\
+     \n\
+     graph --dot      print the workspace call graph in Graphviz DOT format\n\
+     \n\
+     exit codes: 0 clean, 1 findings (--deny) or baseline regression,\n\
+     2 usage/configuration error\n"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         config: None,
-        rule: None,
+        rules: None,
         json: false,
         deny: false,
         list: false,
+        baseline: None,
+        write_baseline: false,
+        graph: false,
+        dot: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("graph") {
+        it.next();
+        args.graph = true;
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--root" => {
@@ -53,13 +87,20 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or_else(|| "--config requires a file".to_string())?,
                 ));
             }
-            "--rule" => {
-                let id = it.next().ok_or_else(|| "--rule requires an id (R1..R10)".to_string())?;
-                if rules::rule_by_id(&id).is_none() {
-                    return Err(format!("unknown rule `{id}`; try --list"));
-                }
-                args.rule = Some(id);
+            "--rules" | "--rule" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| format!("{a} requires a spec (e.g. R1, R1-R10, S1-S5)"))?;
+                rules::expand_spec(&spec)?;
+                args.rules = Some(spec);
             }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--baseline requires a file".to_string())?,
+                ));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--dot" => args.dot = true,
             "--json" => args.json = true,
             "--deny" => args.deny = true,
             "--list" => args.list = true,
@@ -67,7 +108,31 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if args.graph && !args.dot {
+        return Err("the graph subcommand requires --dot".to_string());
+    }
+    if args.dot && !args.graph {
+        return Err("--dot only applies to the graph subcommand".to_string());
+    }
     Ok(args)
+}
+
+fn print_list() {
+    println!("Syntactic rules (file-local, token-accurate):");
+    for rule in rules::RULES {
+        if rule.id.starts_with('R') {
+            println!("  {}: {}", rule.id, rule.summary);
+        }
+    }
+    println!();
+    println!("Semantic rules (workspace-wide: symbol table + call graph + taint):");
+    for rule in rules::RULES {
+        if rule.id.starts_with('S') {
+            println!("  {}: {}", rule.id, rule.summary);
+        }
+    }
+    println!();
+    println!("exit codes: 0 clean, 1 findings (--deny) or baseline regression, 2 usage error");
 }
 
 fn main() -> ExitCode {
@@ -83,9 +148,21 @@ fn main() -> ExitCode {
     };
 
     if args.list {
-        for rule in rules::RULES {
-            println!("{}: {}", rule.id, rule.summary);
+        print_list();
+        return ExitCode::SUCCESS;
+    }
+
+    let ws = match collect_files(&args.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: walking {}: {e}", args.root.display());
+            return ExitCode::from(2);
         }
+    };
+
+    if args.graph {
+        let model = semrules::SemanticModel::build(&ws);
+        print!("{}", model.graph.to_dot());
         return ExitCode::SUCCESS;
     }
 
@@ -113,15 +190,12 @@ fn main() -> ExitCode {
         None => config::Config::default(),
     };
 
-    let ws = match collect_files(&args.root) {
-        Ok(ws) => ws,
-        Err(e) => {
-            eprintln!("error: walking {}: {e}", args.root.display());
-            return ExitCode::from(2);
-        }
-    };
+    let diags = run(&ws, &cfg, args.rules.as_deref());
 
-    let diags = run(&ws, &cfg, args.rule.as_deref());
+    if args.write_baseline {
+        print!("{}", baseline::render(&diags));
+        return ExitCode::SUCCESS;
+    }
 
     if args.json {
         print!("{}", render_json(&diags));
@@ -129,13 +203,37 @@ fn main() -> ExitCode {
         for d in &diags {
             print!("{}", d.render());
         }
-        let scope = args.rule.as_deref().unwrap_or("R1..R10");
+        let scope = args.rules.as_deref().unwrap_or("R1-R10,S1-S5");
         eprintln!(
             "simpadv-lint: {} file(s) analyzed, {} diagnostic(s) [{}]",
             ws.files.len(),
             diags.len(),
             scope
         );
+    }
+
+    if let Some(path) = &args.baseline {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let counts = match baseline::parse(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let regressions = baseline::compare(&counts, &diags);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("baseline regression: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
 
     if args.deny && !diags.is_empty() {

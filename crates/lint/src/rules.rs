@@ -1,17 +1,23 @@
-//! The ten invariant rules (R1–R10).
+//! The rule registry: ten syntactic invariants (R1–R10) and five
+//! semantic ones (S1–S5).
 //!
-//! Each rule is a pure function from a [`Workspace`] to diagnostics. The
-//! rules are syntactic but token-accurate: comments and string literals
-//! can never trigger them, test code is masked out where a rule targets
-//! library code, and the one sanctioned panic idiom —
+//! Each R-rule is a pure function from a [`Workspace`] to diagnostics —
+//! token-accurate but file-local: comments and string literals can never
+//! trigger them, test code is masked out where a rule targets library
+//! code, and the one sanctioned panic idiom —
 //! `unwrap_or_else(|e| panic!("{e}"))` — is recognized by walking the
-//! enclosing-call chain rather than by text matching.
+//! enclosing-call chain rather than by text matching. The S-rules
+//! ([`crate::semrules`]) additionally see a workspace-wide
+//! [`crate::semrules::SemanticCtx`] (symbol table, call graph, taint
+//! sources) and attach call chains to their diagnostics.
 
 use crate::parse::ParsedFile;
+use crate::semrules::{self, SemanticCtx};
 use crate::{Diagnostic, FileKind, FileUnit, Workspace};
 
-/// Library crates whose `src/` must be free of ad-hoc panics (R1).
-const PANIC_FREE_CRATES: &[&str] = &[
+/// Library crates whose `src/` must be free of ad-hoc panics (R1, S1)
+/// and whose `try_*` APIs need delegating twins (S5).
+pub const PANIC_FREE_CRATES: &[&str] = &[
     "simpadv-trace",
     "simpadv-runtime",
     "simpadv-tensor",
@@ -22,14 +28,22 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "simpadv",
 ];
 
+/// A rule's checker: file-local (syntactic) or workspace-wide (semantic).
+pub enum Check {
+    /// R-rules: a pure function over the parsed files.
+    Syntactic(fn(&Workspace) -> Vec<Diagnostic>),
+    /// S-rules: sees the symbol table, call graph and taint sources.
+    Semantic(fn(&SemanticCtx) -> Vec<Diagnostic>),
+}
+
 /// A rule's identity and entry point.
 pub struct Rule {
-    /// Stable id (`R1`..`R10`), referenced from `lint.toml`.
+    /// Stable id (`R1`..`R10`, `S1`..`S5`), referenced from `lint.toml`.
     pub id: &'static str,
     /// One-line summary shown by `--list`.
     pub summary: &'static str,
     /// The checker.
-    pub check: fn(&Workspace) -> Vec<Diagnostic>,
+    pub check: Check,
 }
 
 /// The rule registry, in id order.
@@ -38,60 +52,93 @@ pub const RULES: &[Rule] = &[
         id: "R1",
         summary: "no unwrap()/expect()/bare panic! in library crate non-test code; \
                   the sanctioned form is try_*().unwrap_or_else(|e| panic!(\"{e}\"))",
-        check: rule_r1_panic_hygiene,
+        check: Check::Syntactic(rule_r1_panic_hygiene),
     },
     Rule {
         id: "R2",
         summary: "public functions that can panic must document a `# Panics` section",
-        check: rule_r2_panics_docs,
+        check: Check::Syntactic(rule_r2_panics_docs),
     },
     Rule {
         id: "R3",
         summary: "attack constructors must validate epsilon/step with \
                   is_finite() and >= 0.0",
-        check: rule_r3_ctor_validation,
+        check: Check::Syntactic(rule_r3_ctor_validation),
     },
     Rule {
         id: "R4",
         summary: "no hand-rolled epsilon-ball clamping in crates/attacks outside \
                   projection.rs; use project_ball",
-        check: rule_r4_projection_routing,
+        check: Check::Syntactic(rule_r4_projection_routing),
     },
     Rule {
         id: "R5",
         summary: "no thread_rng/from_entropy/rand::random outside \
                   crates/tensor/src/rng.rs; all randomness is seeded",
-        check: rule_r5_rng_discipline,
+        check: Check::Syntactic(rule_r5_rng_discipline),
     },
     Rule {
         id: "R6",
         summary: "panicking tensor ops built on the unwrap_or_else wrapper must \
                   expose a try_* sibling returning TensorError",
-        check: rule_r6_try_siblings,
+        check: Check::Syntactic(rule_r6_try_siblings),
     },
     Rule {
         id: "R7",
         summary: "std::thread is permitted only in crates/runtime; everywhere else \
                   parallelism goes through simpadv_runtime::Runtime",
-        check: rule_r7_thread_containment,
+        check: Check::Syntactic(rule_r7_thread_containment),
     },
     Rule {
         id: "R8",
         summary: "println!/eprintln! only in the cli, lint and bench crates and the \
                   trace sinks; library crates report through simpadv-trace events",
-        check: rule_r8_print_containment,
+        check: Check::Syntactic(rule_r8_print_containment),
     },
     Rule {
         id: "R9",
         summary: "File::create/fs::write only in crates/resilience (and the trace \
                   sinks); durable output goes through the atomic-write protocol",
-        check: rule_r9_durable_writes,
+        check: Check::Syntactic(rule_r9_durable_writes),
     },
     Rule {
         id: "R10",
         summary: "std::time::Instant/SystemTime only in crates/trace/src/clock.rs and \
                   crates/obs; production timing goes through the span clock's WallTimer",
-        check: rule_r10_wall_clock_quarantine,
+        check: Check::Syntactic(rule_r10_wall_clock_quarantine),
+    },
+    Rule {
+        id: "S1",
+        summary: "no public API of a panic-free crate may transitively reach an \
+                  unsanctioned unwrap/expect/panic! site; diagnostics carry the call chain",
+        check: Check::Semantic(semrules::s1_panic_reachability),
+    },
+    Rule {
+        id: "S2",
+        summary: "wall-clock, HashMap/HashSet iteration, available_parallelism and \
+                  entropy RNG must not flow into declared determinism sinks \
+                  (lint.toml [[taint]]): logical counters, TrainState, BENCH digests",
+        check: Check::Semantic(semrules::s2_determinism_taint),
+    },
+    Rule {
+        id: "S3",
+        summary: "closures passed to par_map/par_chunks/par_join must not reduce \
+                  through unordered combinators (atomics, locks, hash containers); \
+                  fold the runtime's ordered per-chunk results instead",
+        check: Check::Semantic(semrules::s3_parallel_reduction),
+    },
+    Rule {
+        id: "S4",
+        summary: "raw += float-accumulation loops in tensor/nn must live in declared \
+                  canonical kernels (lint.toml [[kernel]]) so backends share one \
+                  accumulation order",
+        check: Check::Semantic(semrules::s4_float_accumulation),
+    },
+    Rule {
+        id: "S5",
+        summary: "every try_* function in a panic-free crate has a panicking twin \
+                  implemented as a delegating wrapper (checked structurally)",
+        check: Check::Semantic(semrules::s5_fallible_siblings),
     },
 ];
 
@@ -100,8 +147,66 @@ pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
 }
 
+/// Expands a `--rules` spec — a comma list of ids and ranges
+/// (`R1,R3`, `R1-R10,S2`, `S1-S5`) — into rule ids, validating every
+/// part against the registry.
+///
+/// # Errors
+///
+/// Returns a message naming the offending part when an id is unknown, a
+/// range is malformed, or its endpoints use different tiers.
+pub fn expand_spec(spec: &str) -> Result<Vec<&'static str>, String> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = part.split_once('-') {
+            let (lo, hi) = (lo.trim(), hi.trim());
+            let tier = lo.chars().next().ok_or_else(|| format!("empty range start in `{part}`"))?;
+            if !hi.starts_with(tier) {
+                return Err(format!("range `{part}` mixes tiers; write it as `{tier}a-{tier}b`"));
+            }
+            let parse_num = |s: &str| {
+                s[1..]
+                    .parse::<u32>()
+                    .map_err(|_| format!("malformed rule id `{s}` in range `{part}`"))
+            };
+            let (a, b) = (parse_num(lo)?, parse_num(hi)?);
+            if a > b {
+                return Err(format!("range `{part}` runs backwards"));
+            }
+            for n in a..=b {
+                let id = format!("{tier}{n}");
+                let rule = rule_by_id(&id)
+                    .ok_or_else(|| format!("range `{part}` covers unknown rule `{id}`"))?;
+                if !out.contains(&rule.id) {
+                    out.push(rule.id);
+                }
+            }
+        } else {
+            let rule = rule_by_id(part).ok_or_else(|| format!("unknown rule `{part}`"))?;
+            if !out.contains(&rule.id) {
+                out.push(rule.id);
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("rule spec `{spec}` selects nothing"));
+    }
+    Ok(out)
+}
+
 fn diag(rule: &'static str, file: &FileUnit, line: u32, item: &str, message: String) -> Diagnostic {
-    Diagnostic { rule, path: file.path.clone(), line, item: item.to_string(), message }
+    Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line,
+        item: item.to_string(),
+        message,
+        chain: Vec::new(),
+    }
 }
 
 /// Whether token `i` begins a macro invocation of `name` (`name` followed
@@ -605,7 +710,25 @@ mod tests {
     }
 
     fn run(rule: &str, files: &[(&str, &str)]) -> Vec<Diagnostic> {
-        (rule_by_id(rule).expect("known rule").check)(&ws(files))
+        match rule_by_id(rule).expect("known rule").check {
+            Check::Syntactic(f) => f(&ws(files)),
+            Check::Semantic(_) => panic!("semantic rules are tested in semrules.rs"),
+        }
+    }
+
+    #[test]
+    fn expand_spec_handles_ids_ranges_and_errors() {
+        assert_eq!(expand_spec("R1").unwrap(), vec!["R1"]);
+        assert_eq!(expand_spec("R1,R3").unwrap(), vec!["R1", "R3"]);
+        assert_eq!(expand_spec("S1-S5").unwrap(), vec!["S1", "S2", "S3", "S4", "S5"]);
+        assert_eq!(expand_spec("R8-R10,S2").unwrap(), vec!["R8", "R9", "R10", "S2"]);
+        // Duplicates collapse.
+        assert_eq!(expand_spec("R1,R1-R2").unwrap(), vec!["R1", "R2"]);
+        assert!(expand_spec("R11").is_err());
+        assert!(expand_spec("R1-S2").is_err());
+        assert!(expand_spec("S5-S1").is_err());
+        assert!(expand_spec("").is_err());
+        assert!(expand_spec("R1-R99").is_err());
     }
 
     // ---- R1 ----

@@ -1,0 +1,15 @@
+//! S1 fixture: a public API of a panic-free crate reaches an
+//! unsanctioned panic site two hops down the call graph.
+
+/// Public entry point; panics nowhere in its own body.
+pub fn predict(x: Option<f32>) -> f32 {
+    normalize(x)
+}
+
+fn normalize(x: Option<f32>) -> f32 {
+    fetch(x) * 2.0
+}
+
+fn fetch(x: Option<f32>) -> f32 {
+    x.unwrap()
+}

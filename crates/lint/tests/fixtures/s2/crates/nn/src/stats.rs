@@ -1,0 +1,9 @@
+//! S2 fixture, crate two: a declared sink whose call tree crosses a
+//! crate boundary to reach the wall clock.
+
+use simpadv_tensor::timing::now_units;
+
+/// Declared `[[taint]]` sink in the fixture config.
+pub fn add_sample(n: u64) -> u64 {
+    n + now_units()
+}

@@ -1,0 +1,8 @@
+//! S2 fixture, crate one: the nondeterministic source.
+
+use std::time::Instant;
+
+/// Reads the wall clock — a determinism-taint source.
+pub fn now_units() -> u64 {
+    Instant::now().elapsed().as_micros() as u64
+}

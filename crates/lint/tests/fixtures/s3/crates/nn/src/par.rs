@@ -1,0 +1,11 @@
+//! S3 fixture: a closure handed to a parallel entry point reduces
+//! through an atomic — the scheduler picks the combination order.
+
+/// Sums activations by racing on an atomic counter.
+pub fn sum_parallel(rt: &Runtime, data: &[f32], total: &AtomicU64) {
+    rt.par_chunks(data.len(), 64, |r| {
+        for i in r {
+            total.fetch_add(data[i] as u64, Ordering::Relaxed);
+        }
+    });
+}

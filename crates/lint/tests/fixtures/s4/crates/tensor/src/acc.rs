@@ -1,0 +1,11 @@
+//! S4 fixture: a raw float-accumulation loop outside any declared
+//! canonical kernel.
+
+/// Dot product with its own private accumulation order.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut s = 0.0;
+    for i in 0..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}

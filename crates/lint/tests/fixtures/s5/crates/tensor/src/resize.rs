@@ -1,0 +1,34 @@
+//! S5 fixture: one `try_*` form whose panicking twin re-implements the
+//! checks, and one with no twin at all.
+
+impl Grid {
+    /// Fallible resize.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero target size.
+    pub fn try_resize(&self, n: usize) -> Result<Grid, String> {
+        if n == 0 {
+            return Err("zero size".to_string());
+        }
+        Ok(self.clone())
+    }
+
+    /// Panicking twin that drifts from the fallible form.
+    pub fn resize(&self, n: usize) -> Grid {
+        assert!(n != 0, "zero size");
+        self.clone()
+    }
+
+    /// Fallible splitter with no panicking twin exposed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty grid.
+    pub fn try_split(&self) -> Result<(Grid, Grid), String> {
+        if self.cells == 0 {
+            return Err("empty".to_string());
+        }
+        Ok((self.clone(), self.clone()))
+    }
+}

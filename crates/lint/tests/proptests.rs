@@ -1,0 +1,48 @@
+//! Property tests for the call-graph machinery: reachability must be
+//! monotone under edge addition, and the DOT export must round-trip the
+//! node and edge counts through its own parser.
+
+use proptest::prelude::*;
+use simpadv_lint::callgraph::{parse_dot_counts, CallGraph};
+use simpadv_lint::symbols::FnId;
+
+fn edge_set(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(FnId, FnId)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #[test]
+    fn reachability_is_monotone_under_edge_addition(
+        n in 1u32..30,
+        edges in edge_set(30, 60),
+        extra in edge_set(30, 10),
+        start in 0u32..30,
+    ) {
+        let clamp = |es: &[(FnId, FnId)]| -> Vec<(FnId, FnId)> {
+            es.iter().map(|&(a, b)| (a % n, b % n)).collect()
+        };
+        let base = clamp(&edges);
+        let mut grown = base.clone();
+        grown.extend(clamp(&extra));
+        let start = start % n;
+
+        let before = CallGraph::from_edges(n as usize, &base).reachable(start);
+        let after = CallGraph::from_edges(n as usize, &grown).reachable(start);
+        prop_assert!(
+            before.is_subset(&after),
+            "adding edges removed reachable nodes: {before:?} vs {after:?}"
+        );
+    }
+
+    #[test]
+    fn dot_export_round_trips_node_and_edge_counts(
+        n in 1u32..30,
+        edges in edge_set(30, 60),
+    ) {
+        let clamped: Vec<(FnId, FnId)> =
+            edges.iter().map(|&(a, b)| (a % n, b % n)).collect();
+        let g = CallGraph::from_edges(n as usize, &clamped);
+        let counts = parse_dot_counts(&g.to_dot());
+        prop_assert_eq!(counts, Some((g.node_count(), g.edge_count())));
+    }
+}

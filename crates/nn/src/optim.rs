@@ -349,14 +349,14 @@ impl AdaGrad {
 impl Optimizer for AdaGrad {
     fn step(&mut self, params: &mut [ParamRef<'_>]) {
         lazy_state(&mut self.accum, params);
+        let (lr, eps) = (self.lr, self.eps);
         for (p, a) in params.iter_mut().zip(&mut self.accum) {
-            let g = p.grad.as_slice();
-            let acc = a.as_mut_slice();
-            let w = p.value.as_mut_slice();
-            for i in 0..g.len() {
-                acc[i] += g[i] * g[i];
-                w[i] -= self.lr * g[i] / (acc[i].sqrt() + self.eps);
-            }
+            // Element-wise throughout, so routing through the canonical
+            // tensor kernels is bitwise-identical to the fused loop:
+            // `w -= u` and `w += (-1.0) * u` round the same way.
+            a.add_assign(&p.grad.zip_map(p.grad, |g, h| g * h));
+            let update = p.grad.zip_map(a, |g, acc| lr * g / (acc.sqrt() + eps));
+            p.value.add_scaled(&update, -1.0);
         }
     }
 

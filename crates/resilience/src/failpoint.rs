@@ -20,7 +20,7 @@
 //!
 //! [`PersistError::Injected`]: crate::PersistError::Injected
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// The IO sites the atomic-write path exposes, in execution order.
@@ -53,10 +53,10 @@ struct Arm {
     remaining: Option<u32>,
 }
 
-fn registry() -> MutexGuard<'static, HashMap<String, Arm>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<String, Arm>>> = OnceLock::new();
+fn registry() -> MutexGuard<'static, BTreeMap<String, Arm>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Arm>>> = OnceLock::new();
     let lock = REGISTRY.get_or_init(|| {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         if let Ok(spec) = std::env::var("SIMPADV_FAILPOINTS") {
             // Environment damage is a test-harness configuration error;
             // report it loudly on the error stream but do not panic (the
@@ -88,7 +88,7 @@ fn parse_action(spec: &str) -> Option<Action> {
     None
 }
 
-fn parse_spec_into(spec: &str, map: &mut HashMap<String, Arm>) -> Result<(), String> {
+fn parse_spec_into(spec: &str, map: &mut BTreeMap<String, Arm>) -> Result<(), String> {
     for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
         let (site, action_spec) = part.split_once('=').ok_or_else(|| part.to_string())?;
         if !SITES.contains(&site) {
@@ -112,7 +112,7 @@ fn parse_spec_into(spec: &str, map: &mut HashMap<String, Arm>) -> Result<(), Str
 /// Returns the rejected fragment when the site is unknown or the action
 /// spec does not parse.
 pub fn arm(site: &str, action_spec: &str) -> Result<(), String> {
-    let mut map = HashMap::new();
+    let mut map = BTreeMap::new();
     parse_spec_into(&format!("{site}={action_spec}"), &mut map)?;
     registry().extend(map);
     Ok(())
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn spec_parser_handles_lists() {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         parse_spec_into("pre-rename=error*1, corrupt=flip:7", &mut map).unwrap();
         assert_eq!(map.len(), 2);
         assert_eq!(map["corrupt"].action, Action::Flip(7));

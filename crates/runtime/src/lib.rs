@@ -363,9 +363,7 @@ impl Runtime {
         R: Send,
         F: Fn(Range<usize>) -> R + Sync,
     {
-        assert!(chunk > 0, "{}", RuntimeError::ZeroChunk);
-        let n_tasks = len.div_ceil(chunk);
-        self.run_tasks(n_tasks, |i| f(i * chunk..((i + 1) * chunk).min(len)))
+        self.try_par_chunks(len, chunk, f).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible form of [`Runtime::par_chunks`]: reports an invalid chunk
