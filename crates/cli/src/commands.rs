@@ -75,6 +75,16 @@ COMMANDS
   evaluate  --model FILE --dataset mnist|fashion [--samples N] [--seed S]
   attack    --model FILE --dataset mnist|fashion [--attack A] [--index I]
             attacks: noise fgsm llfgsm bim10 bim30 pgd10 mim10 fgml2 pgdl2
+  serve     --model-dir DIR [--addr HOST:PORT] [--batch-max N]
+            [--batch-timeout-us N] [--queue-cap N]
+            [--watch-interval-us N] [--requests N] [--addr-file FILE]
+            batched inference over HTTP with hot-swap: serves the newest
+            valid generation in DIR, coalescing up to N requests (or the
+            batch timeout) per forward pass, shedding load with 503 when
+            the queue is full, and atomically swapping in new checkpoint
+            generations as they appear; --requests N exits after N
+            answers (absent or 0: serve until killed), --addr-file
+            writes the bound address (useful with an ephemeral port 0)
   trace summarize FILE
             fold a JSONL trace into per-span aggregate timings
   trace flame FILE [--weight wall|flops|work|attack-steps] [--out FILE]
@@ -92,7 +102,7 @@ COMMANDS
             regressions exit non-zero, wall drift warns (the CI perf
             gate)
   lint [--root DIR] [--rules SPEC]
-            run the workspace invariant wall (rules R1-R10 syntactic,
+            run the workspace invariant wall (rules R1-R11 syntactic,
             S1-S5 semantic; see `simpadv-lint --list`); any diagnostic
             is an error
   lint graph [--root DIR]
@@ -125,6 +135,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "train" => cmd_train(args, out),
         "evaluate" => cmd_evaluate(args, out),
         "attack" => cmd_attack(args, out),
+        "serve" => cmd_serve(args, out),
         "trace" => cmd_trace(args, out),
         "bench" => cmd_bench(args, out),
         "lint" => cmd_lint(args, out),
@@ -356,6 +367,65 @@ fn cmd_attack<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `serve` — the batched adversarial-aware inference server
+/// (`crates/serve`) behind a checkpoint directory.
+fn cmd_serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&[
+        "model-dir",
+        "addr",
+        "batch-max",
+        "batch-timeout-us",
+        "queue-cap",
+        "watch-interval-us",
+        "requests",
+        "addr-file",
+        "threads",
+        "trace",
+        "trace-format",
+    ])?;
+    let model_dir = args.require("model-dir")?;
+    let cfg = simpadv_serve::ServeConfig {
+        addr: args.get_or("addr", "127.0.0.1:0").to_string(),
+        model_dir: std::path::PathBuf::from(model_dir),
+        batch: simpadv_serve::BatchConfig {
+            batch_max: args.get_num("batch-max", 16usize)?,
+            batch_timeout_us: args.get_num("batch-timeout-us", 500u64)?,
+            queue_cap: args.get_num("queue-cap", 64usize)?,
+        },
+        watch_interval_us: args.get_num("watch-interval-us", 200_000u64)?,
+    };
+    if cfg.batch.batch_max == 0 || cfg.batch.queue_cap == 0 {
+        return Err(CliError("--batch-max and --queue-cap must be positive".into()));
+    }
+    let requests = args.get_num("requests", 0u64)?;
+    let server = simpadv_serve::Server::start(cfg).map_err(|e| CliError(e.to_string()))?;
+    let bound = server.local_addr();
+    writeln!(
+        out,
+        "serving generation {} ({}) on http://{bound} — POST /predict, GET /healthz, \
+         GET /stats, POST /rescan",
+        server.engine().current_generation(),
+        server.engine().method(),
+    )?;
+    out.flush()?;
+    if let Ok(path) = args.require("addr-file") {
+        simpadv_resilience::atomic_write(std::path::Path::new(path), bound.as_bytes())?;
+    }
+    if requests == 0 {
+        // Serve until the process is killed.
+        server.wait_served(u64::MAX);
+        return Ok(());
+    }
+    server.wait_served(requests);
+    let stats = server.shutdown();
+    writeln!(
+        out,
+        "served {} request(s), {} rejected, {} hot swap(s); shutting down",
+        stats.served, stats.rejected, stats.swapped_generations
+    )?;
+    Ok(())
+}
+
 /// Reads and strictly parses a JSONL trace, mapping I/O and schema
 /// problems (including a torn final line) to [`CliError`].
 fn read_trace_events(path: &str) -> Result<Vec<simpadv_trace::Event>, CliError> {
@@ -474,18 +544,55 @@ fn cmd_bench<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             if args.positional(3).is_some() {
                 return Err(CliError("bench compare takes exactly two files".into()));
             }
-            let read = |path: &str| -> Result<simpadv_obs::BenchArtifact, CliError> {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| CliError(format!("cannot read artifact {path}: {e}")))?;
-                serde_json::from_str(&text)
-                    .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))
+            let read_text = |path: &str| -> Result<String, CliError> {
+                std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("cannot read artifact {path}: {e}")))
             };
-            let (baseline, candidate) = (read(base_path)?, read(cand_path)?);
-            let opts = simpadv_obs::CompareOptions {
-                wall_threshold_pct: args.get_num("wall-threshold", 25.0f64)?,
-                accuracy_tolerance: args.get_num("accuracy-tolerance", 1e-6f64)?,
+            let (base_text, cand_text) = (read_text(base_path)?, read_text(cand_path)?);
+            // Dispatch on the artifact's `experiment` tag: `bench serve`
+            // emits a serving artifact with its own logical schema.
+            let kind = |text: &str, path: &str| -> Result<bool, CliError> {
+                let value: serde::Value = serde_json::from_str(text)
+                    .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))?;
+                Ok(matches!(
+                    value.get("experiment"),
+                    Some(serde::Value::String(s)) if s == simpadv_obs::SERVE_EXPERIMENT
+                ))
             };
-            let report = simpadv_obs::compare(&baseline, &candidate, &opts);
+            let (base_serve, cand_serve) =
+                (kind(&base_text, base_path)?, kind(&cand_text, cand_path)?);
+            if base_serve != cand_serve {
+                return Err(CliError(format!(
+                    "bench compare: cannot compare a serve artifact with a training \
+                     baseline ({base_path} vs {cand_path})"
+                )));
+            }
+            let report = if base_serve {
+                let read =
+                    |text: &str, path: &str| -> Result<simpadv_obs::ServeArtifact, CliError> {
+                        serde_json::from_str(text)
+                            .map_err(|e| CliError(format!("invalid serve artifact {path}: {e}")))
+                    };
+                simpadv_obs::compare_serve(
+                    &read(&base_text, base_path)?,
+                    &read(&cand_text, cand_path)?,
+                )
+            } else {
+                let read =
+                    |text: &str, path: &str| -> Result<simpadv_obs::BenchArtifact, CliError> {
+                        serde_json::from_str(text)
+                            .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))
+                    };
+                let opts = simpadv_obs::CompareOptions {
+                    wall_threshold_pct: args.get_num("wall-threshold", 25.0f64)?,
+                    accuracy_tolerance: args.get_num("accuracy-tolerance", 1e-6f64)?,
+                };
+                simpadv_obs::compare(
+                    &read(&base_text, base_path)?,
+                    &read(&cand_text, cand_path)?,
+                    &opts,
+                )
+            };
             write!(out, "{}", report.render())?;
             if report.passed() {
                 Ok(())
@@ -881,6 +988,89 @@ mod tests {
         assert!(run_line(&format!("bench compare {base} bogus.json")).is_err());
         assert!(run_line("bench compare only-one.json").is_err());
         assert!(run_line("bench frobnicate").is_err());
+    }
+
+    #[test]
+    fn serve_flags_are_validated_before_binding() {
+        // --model-dir is mandatory
+        assert!(run_line("serve").unwrap_err().to_string().contains("model-dir"));
+        // zero-sized batch or queue is rejected up front
+        let dir = std::env::temp_dir().join("simpadv-cli-serve-flags");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err =
+            run_line(&format!("serve --model-dir {} --batch-max 0", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("--batch-max"), "{err}");
+        // an empty store refuses to serve with a typed error
+        let empty = std::env::temp_dir().join("simpadv-cli-serve-empty");
+        let _ = std::fs::remove_dir_all(&empty);
+        let err = run_line(&format!("serve --model-dir {}", empty.display())).unwrap_err();
+        assert!(err.to_string().contains("no servable model"), "{err}");
+        assert!(USAGE.contains("serve"));
+    }
+
+    #[test]
+    fn bench_compare_dispatches_on_serve_artifacts() {
+        let artifact = simpadv_obs::ServeArtifact {
+            schema_version: simpadv_obs::SERVE_SCHEMA_VERSION,
+            experiment: simpadv_obs::SERVE_EXPERIMENT.to_string(),
+            scale: simpadv_obs::ServeScale {
+                requests: 8,
+                clients: 2,
+                samples: 4,
+                adv_permille: 250,
+                attack: "pgd".into(),
+                batch_max: 4,
+                queue_cap: 8,
+                seed: 2019,
+            },
+            served: 8,
+            skipped_generations: 0,
+            generations: vec![simpadv_obs::ServeGenerationRow {
+                generation: 1,
+                traffic: "clean".into(),
+                requests: 8,
+                labeled: 8,
+                correct: 7,
+            }],
+            meta: simpadv_obs::ServeMeta {
+                threads: 1,
+                wall_total_s: 0.5,
+                throughput_rps: 16.0,
+                latency_p50_us: 100,
+                latency_p90_us: 200,
+                latency_p99_us: 300,
+                latency_max_us: 400,
+                batch_occupancy_mean: 2.0,
+                batch_occupancy_max: 4,
+                rejected: 0,
+                note: simpadv_obs::ServeArtifact::wall_note(),
+            },
+        };
+        let base = write_temp("serve-base.json", &serde_json::to_string(&artifact).unwrap());
+        assert!(run_line(&format!("bench compare {base} {base}")).is_ok());
+
+        // a logical accuracy regression fails the gate
+        let mut planted = artifact.clone();
+        planted.generations[0].correct = 1;
+        let cand = write_temp("serve-cand.json", &serde_json::to_string(&planted).unwrap());
+        let err = run_line(&format!("bench compare {base} {cand}")).unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+
+        // mixing a serve artifact with a training baseline is an error,
+        // not a silent pass
+        let training = simpadv_obs::BenchArtifact {
+            schema_version: simpadv_obs::BENCH_SCHEMA_VERSION,
+            experiment: "table1".into(),
+            scale: simpadv_obs::ScaleInfo { train_samples: 1, test_samples: 1, epochs: 1, seed: 1 },
+            trainers: Vec::new(),
+            accuracies: Vec::new(),
+            events: 0,
+            trace_digest: String::new(),
+            meta: simpadv_obs::BenchMeta::default(),
+        };
+        let other = write_temp("serve-mixed.json", &serde_json::to_string(&training).unwrap());
+        let err = run_line(&format!("bench compare {base} {other}")).unwrap_err();
+        assert!(err.to_string().contains("cannot compare"), "{err}");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //!
 //! The analyzer parses every `.rs` file in the workspace with a
 //! self-contained lexer (no external parser dependency — the build
-//! environment is offline) and enforces fifteen invariants the stack's
-//! correctness rests on: ten file-local syntactic rules (R1–R10) and
+//! environment is offline) and enforces sixteen invariants the stack's
+//! correctness rests on: eleven file-local syntactic rules (R1–R11) and
 //! five workspace-wide semantic rules (S1–S5) that reason over a symbol
 //! table, call graph and taint lattice. See [`rules::RULES`] for the
 //! catalogue and `DESIGN.md` for the rationale behind each. Diagnostics
@@ -84,6 +84,7 @@ fn classify(path: &str) -> (String, FileKind) {
                 "cli" => "simpadv-cli",
                 "lint" => "simpadv-lint",
                 "bench" => "simpadv-bench",
+                "serve" => "simpadv-serve",
                 other => other,
             };
             (pkg.to_string(), &parts[2..])
@@ -294,6 +295,10 @@ mod tests {
             ("simpadv-runtime".to_string(), FileKind::Src)
         );
         assert_eq!(classify("crates/core/tests/train.rs"), ("simpadv".to_string(), FileKind::Test));
+        assert_eq!(
+            classify("crates/serve/src/server.rs"),
+            ("simpadv-serve".to_string(), FileKind::Src)
+        );
         assert_eq!(classify("src/lib.rs"), ("simpadv-suite".to_string(), FileKind::Src));
         assert_eq!(classify("tests/end_to_end.rs"), ("simpadv-suite".to_string(), FileKind::Test));
         assert_eq!(

@@ -1,4 +1,4 @@
-//! The rule registry: ten syntactic invariants (R1–R10) and five
+//! The rule registry: eleven syntactic invariants (R1–R11) and five
 //! semantic ones (S1–S5).
 //!
 //! Each R-rule is a pure function from a [`Workspace`] to diagnostics —
@@ -106,6 +106,12 @@ pub const RULES: &[Rule] = &[
         summary: "std::time::Instant/SystemTime only in crates/trace/src/clock.rs and \
                   crates/obs; production timing goes through the span clock's WallTimer",
         check: Check::Syntactic(rule_r10_wall_clock_quarantine),
+    },
+    Rule {
+        id: "R11",
+        summary: "std::net is permitted only in crates/serve; other crates reach the \
+                  server through simpadv_serve::client",
+        check: Check::Syntactic(rule_r11_net_containment),
     },
     Rule {
         id: "S1",
@@ -554,6 +560,48 @@ fn rule_r7_thread_containment(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
+/// R11: `std::net` is confined to the serving crate.
+///
+/// Sockets are a side-channel past every invariant this wall defends —
+/// untraced I/O, nondeterministic ordering, durable output without the
+/// atomic-write protocol. `crates/serve` wraps them behind the batch
+/// engine (whose forwards stay on the deterministic runtime) and a
+/// typed client; everything else — tests and benches included — talks
+/// to a server through `simpadv_serve::client`, never a raw socket.
+fn rule_r11_net_containment(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.crate_name == "simpadv-serve" {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            let socket_type = matches!(
+                p.ident(i),
+                Some("TcpListener" | "TcpStream" | "UdpSocket" | "SocketAddr")
+            );
+            let net_path = p.ident(i) == Some("net")
+                && i >= 3
+                && p.ident(i - 3) == Some("std")
+                && p.is_punct(i - 2, ':')
+                && p.is_punct(i - 1, ':');
+            if socket_type || net_path {
+                out.push(diag(
+                    "R11",
+                    file,
+                    p.line(i),
+                    p.ident(i).unwrap_or("net"),
+                    "`std::net` outside crates/serve; talk to the inference server \
+                     through `simpadv_serve::client` so every byte on the wire goes \
+                     through the traced, backpressure-aware serving path"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Crates whose `src/` may print to stdout/stderr directly (R8): the
 /// user-facing CLI, the lint tool itself, and the bench/regeneration
 /// binaries.
@@ -724,7 +772,7 @@ mod tests {
         assert_eq!(expand_spec("R8-R10,S2").unwrap(), vec!["R8", "R9", "R10", "S2"]);
         // Duplicates collapse.
         assert_eq!(expand_spec("R1,R1-R2").unwrap(), vec!["R1", "R2"]);
-        assert!(expand_spec("R11").is_err());
+        assert!(expand_spec("R12").is_err());
         assert!(expand_spec("R1-S2").is_err());
         assert!(expand_spec("S5-S1").is_err());
         assert!(expand_spec("").is_err());
@@ -1061,6 +1109,44 @@ pub fn try_reshape(&self, s: &[usize]) -> Result<T, E> { inner(s) }
             ("crates/data/src/lib.rs", "// Instant\nfn f() -> &'static str { \"SystemTime\" }"),
         ];
         assert!(run("R10", &files).is_empty());
+    }
+
+    // ---- R11 ----
+
+    #[test]
+    fn r11_fires_on_sockets_outside_the_serve_crate() {
+        let files = [
+            (
+                "crates/bench/src/bin/custom.rs",
+                "fn main() { let l = std::net::TcpListener::bind(\"0:0\"); }",
+            ),
+            (
+                "crates/cli/src/commands.rs",
+                "use std::net::TcpStream;\nfn f() { let _ = TcpStream::connect(\"a:1\"); }",
+            ),
+            // tests are NOT exempt: they must also go through the client
+            ("tests/poke.rs", "fn t() { let _ = std::net::UdpSocket::bind(\"0:0\"); }"),
+        ];
+        let d = run("R11", &files);
+        assert!(d.len() >= 3, "each socket use flagged: {d:?}");
+        assert!(d[0].message.contains("simpadv_serve::client"));
+    }
+
+    #[test]
+    fn r11_allows_the_serve_crate_and_inert_text() {
+        let files = [
+            (
+                "crates/serve/src/server.rs",
+                "use std::net::{TcpListener, TcpStream};\nfn f(l: &TcpListener) {}",
+            ),
+            (
+                "crates/serve/src/client.rs",
+                "fn c() { let _ = std::net::TcpStream::connect(\"a:1\"); }",
+            ),
+            // comments and strings never tokenize into idents
+            ("crates/data/src/lib.rs", "// TcpStream\nfn f() -> &'static str { \"std::net\" }"),
+        ];
+        assert!(run("R11", &files).is_empty());
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod diff;
 pub mod error;
 pub mod flame;
 pub mod reader;
+pub mod serve;
 pub mod tree;
 
 pub use baseline::{
@@ -45,6 +46,10 @@ pub use diff::{diff, DiffOptions, DiffReport};
 pub use error::ObsError;
 pub use flame::{collapse, parse_collapsed, prefix_totals, render_collapsed, FlameWeight};
 pub use reader::read_events;
+pub use serve::{
+    compare_serve, ServeArtifact, ServeGenerationRow, ServeMeta, ServeScale, SERVE_EXPERIMENT,
+    SERVE_SCHEMA_VERSION,
+};
 pub use tree::{
     attribute, build_tree, hot_spots, render_top, CostVector, HotSpot, PathStat, SpanNode,
     SpanTree, TopBy,

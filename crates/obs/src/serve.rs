@@ -1,0 +1,293 @@
+//! `BENCH_serve.json`: the serving-path benchmark artifact.
+//!
+//! Same philosophy as the training baseline ([`crate::baseline`]):
+//! everything in the top-level sections is LOGICAL — a pure function of
+//! the model, the request schedule, and the seeds, so it must reproduce
+//! bit-for-bit on any machine at any `--threads`. Everything
+//! wall-clock-dependent (throughput, latency percentiles, realized
+//! batch occupancy, backpressure rejections) is quarantined in `meta`,
+//! where [`compare_serve`] only warns, never fails.
+
+use crate::baseline::{CompareReport, WALL_NOTE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema version for [`ServeArtifact`]; bump on breaking change.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// The experiment tag distinguishing serve artifacts from training
+/// baselines when `bench compare` dispatches on file contents.
+pub const SERVE_EXPERIMENT: &str = "serve";
+
+/// Load-generator scale: fully determined by CLI flags + seed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeScale {
+    /// Total requests submitted.
+    pub requests: u64,
+    /// Closed-loop client count.
+    pub clients: u64,
+    /// Distinct inputs in the request pool.
+    pub samples: u64,
+    /// Adversarial traffic fraction, in permille (100 = 10%).
+    pub adv_permille: u64,
+    /// Attack used for the adversarial fraction (`pgd` or `bim`).
+    pub attack: String,
+    /// Largest coalesced batch the server was configured for.
+    pub batch_max: u64,
+    /// Bounded queue capacity.
+    pub queue_cap: u64,
+    /// Seed for the request pool and attack crafting.
+    pub seed: u64,
+}
+
+/// Per-(generation, traffic-class) accuracy counters — logical as long
+/// as no hot swap happens mid-run (the load generator serves a fixed
+/// generation set).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeGenerationRow {
+    /// Checkpoint generation that answered.
+    pub generation: u64,
+    /// `"clean"` or `"adversarial"`.
+    pub traffic: String,
+    /// Requests answered in this cell.
+    pub requests: u64,
+    /// Requests carrying a ground-truth label.
+    pub labeled: u64,
+    /// Correct predictions among the labeled ones.
+    pub correct: u64,
+}
+
+/// Wall-clock section: machine-dependent, compare warns only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeMeta {
+    /// Worker threads the runtime pool used.
+    pub threads: u64,
+    /// Total wall time of the load phase, seconds.
+    pub wall_total_s: f64,
+    /// Answered requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles in microseconds: p50, p90, p99, max.
+    pub latency_p50_us: u64,
+    /// 90th percentile latency, microseconds.
+    pub latency_p90_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub latency_max_us: u64,
+    /// Mean realized batch occupancy (timing-dependent coalescing).
+    pub batch_occupancy_mean: f64,
+    /// Largest realized batch.
+    pub batch_occupancy_max: u64,
+    /// Requests shed by backpressure (timing-dependent).
+    pub rejected: u64,
+    /// Standing note about wall-number portability.
+    pub note: String,
+}
+
+/// The serving benchmark artifact written by `bench serve`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeArtifact {
+    /// Always [`SERVE_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Always [`SERVE_EXPERIMENT`].
+    pub experiment: String,
+    /// Load shape (logical).
+    pub scale: ServeScale,
+    /// Requests answered (logical: rejections are impossible when
+    /// `queue_cap >= clients` in a closed loop).
+    pub served: u64,
+    /// Generations skipped as unreadable (logical: 0 in a healthy run).
+    pub skipped_generations: u64,
+    /// Per-generation clean-vs-adversarial accuracy (logical).
+    pub generations: Vec<ServeGenerationRow>,
+    /// Machine-dependent numbers, quarantined.
+    pub meta: ServeMeta,
+}
+
+impl ServeArtifact {
+    /// The standing wall-number caveat, for the `meta.note` field.
+    pub fn wall_note() -> String {
+        WALL_NOTE.to_string()
+    }
+}
+
+/// Compares two serve artifacts: logical sections must match exactly;
+/// wall drift only warns.
+///
+/// Fails on: schema/experiment/scale mismatch, served/skipped counts,
+/// any per-(generation, traffic) row differing or missing. Warns on:
+/// throughput changing by more than 2x either way, nonzero rejections
+/// in the candidate.
+pub fn compare_serve(baseline: &ServeArtifact, candidate: &ServeArtifact) -> CompareReport {
+    let mut report = CompareReport::default();
+    let reg = &mut report.regressions;
+    if baseline.schema_version != candidate.schema_version {
+        reg.push(format!(
+            "schema version {} vs {}",
+            baseline.schema_version, candidate.schema_version
+        ));
+    }
+    if baseline.experiment != candidate.experiment {
+        reg.push(format!("experiment '{}' vs '{}'", baseline.experiment, candidate.experiment));
+    }
+    if baseline.scale != candidate.scale {
+        reg.push(format!("scale {:?} vs {:?}", baseline.scale, candidate.scale));
+    }
+    if baseline.served != candidate.served {
+        reg.push(format!("served {} vs {}", baseline.served, candidate.served));
+    }
+    if baseline.skipped_generations != candidate.skipped_generations {
+        reg.push(format!(
+            "skipped generations {} vs {}",
+            baseline.skipped_generations, candidate.skipped_generations
+        ));
+    }
+
+    let key = |row: &ServeGenerationRow| (row.generation, row.traffic.clone());
+    let cand_rows: BTreeMap<(u64, String), &ServeGenerationRow> =
+        candidate.generations.iter().map(|r| (key(r), r)).collect();
+    for base in &baseline.generations {
+        match cand_rows.get(&key(base)) {
+            None => reg.push(format!(
+                "generation {} {} traffic missing from candidate",
+                base.generation, base.traffic
+            )),
+            Some(cand) => {
+                if (base.requests, base.labeled, base.correct)
+                    != (cand.requests, cand.labeled, cand.correct)
+                {
+                    reg.push(format!(
+                        "generation {} {}: {}/{}/{} vs {}/{}/{} (requests/labeled/correct)",
+                        base.generation,
+                        base.traffic,
+                        base.requests,
+                        base.labeled,
+                        base.correct,
+                        cand.requests,
+                        cand.labeled,
+                        cand.correct
+                    ));
+                }
+            }
+        }
+    }
+    for cand in &candidate.generations {
+        if !baseline.generations.iter().any(|b| key(b) == key(cand)) {
+            reg.push(format!(
+                "generation {} {} traffic absent from baseline",
+                cand.generation, cand.traffic
+            ));
+        }
+    }
+
+    let (base_rps, cand_rps) = (baseline.meta.throughput_rps, candidate.meta.throughput_rps);
+    if base_rps > 0.0 && cand_rps > 0.0 {
+        let ratio = cand_rps / base_rps;
+        if !(0.5..=2.0).contains(&ratio) {
+            report.warnings.push(format!(
+                "throughput {base_rps:.1} -> {cand_rps:.1} rps ({ratio:.2}x); \
+                 wall numbers are advisory"
+            ));
+        }
+    }
+    if candidate.meta.rejected > 0 {
+        report
+            .warnings
+            .push(format!("candidate shed {} requests to backpressure", candidate.meta.rejected));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> ServeArtifact {
+        ServeArtifact {
+            schema_version: SERVE_SCHEMA_VERSION,
+            experiment: SERVE_EXPERIMENT.to_string(),
+            scale: ServeScale {
+                requests: 100,
+                clients: 4,
+                samples: 50,
+                adv_permille: 100,
+                attack: "pgd".to_string(),
+                batch_max: 16,
+                queue_cap: 64,
+                seed: 2019,
+            },
+            served: 100,
+            skipped_generations: 0,
+            generations: vec![
+                ServeGenerationRow {
+                    generation: 1,
+                    traffic: "clean".to_string(),
+                    requests: 90,
+                    labeled: 90,
+                    correct: 81,
+                },
+                ServeGenerationRow {
+                    generation: 1,
+                    traffic: "adversarial".to_string(),
+                    requests: 10,
+                    labeled: 10,
+                    correct: 6,
+                },
+            ],
+            meta: ServeMeta {
+                threads: 1,
+                wall_total_s: 1.5,
+                throughput_rps: 66.7,
+                latency_p50_us: 900,
+                latency_p90_us: 2_000,
+                latency_p99_us: 5_000,
+                latency_max_us: 9_000,
+                batch_occupancy_mean: 3.5,
+                batch_occupancy_max: 8,
+                rejected: 0,
+                note: ServeArtifact::wall_note(),
+            },
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_pass_cleanly() {
+        let a = artifact();
+        let report = compare_serve(&a, &a);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn accuracy_drift_is_a_regression() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.generations[1].correct = 2;
+        let report = compare_serve(&base, &cand);
+        assert!(!report.passed());
+        assert!(
+            report.regressions.iter().any(|r| r.contains("adversarial")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn wall_drift_only_warns() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.meta.throughput_rps = 10.0;
+        cand.meta.latency_p99_us = 500_000;
+        let report = compare_serve(&base, &cand);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.warnings.iter().any(|w| w.contains("throughput")), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let a = artifact();
+        let text = serde_json::to_string_pretty(&a).unwrap();
+        let back: ServeArtifact = serde_json::from_str(&text).unwrap();
+        assert_eq!(a, back);
+    }
+}

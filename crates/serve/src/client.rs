@@ -1,0 +1,135 @@
+//! A blocking HTTP client for the serve endpoints.
+//!
+//! This is the ONLY sanctioned way for other crates (the load
+//! generator, integration tests, the CLI) to talk to the server: rule
+//! R11 confines `std::net` to `crates/serve`, so everything else takes
+//! a `&str` address and calls through here. Each call opens a fresh
+//! connection — at this project's scale connection reuse would only
+//! complicate the failure modes.
+
+use crate::batcher::SwapReport;
+use crate::error::ServeError;
+use crate::protocol::{
+    read_response, write_request, HealthBody, HttpResponse, PredictRequest, PredictResponse,
+    RejectBody,
+};
+use crate::stats::StatsSnapshot;
+use simpadv_trace::clock::WallTimer;
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// Outcome of a predict call that reached the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictOutcome {
+    /// The request was answered.
+    Predicted(PredictResponse),
+    /// The request was shed by backpressure (HTTP 503).
+    Rejected(RejectBody),
+}
+
+/// Submits one inference request.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connection failures, [`ServeError::BadRequest`]
+/// when the server answered 400, [`ServeError::Persist`] never (kept in
+/// the shared error type for uniformity).
+pub fn predict(addr: &str, request: &PredictRequest) -> Result<PredictOutcome, ServeError> {
+    let body = serde_json::to_string(request)
+        .map_err(|e| ServeError::BadRequest(format!("encode request: {e}")))?;
+    let response = roundtrip(addr, "POST", "/predict", &body)?;
+    match response.status {
+        200 => Ok(PredictOutcome::Predicted(parse_body(&response)?)),
+        503 => Ok(PredictOutcome::Rejected(parse_body(&response)?)),
+        status => Err(status_error(status, &response)),
+    }
+}
+
+/// Probes `/healthz`.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connection failures or non-200 answers.
+pub fn healthz(addr: &str) -> Result<HealthBody, ServeError> {
+    let response = roundtrip(addr, "GET", "/healthz", "")?;
+    match response.status {
+        200 => parse_body(&response),
+        status => Err(status_error(status, &response)),
+    }
+}
+
+/// Fetches the `/stats` snapshot.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connection failures or non-200 answers.
+pub fn stats(addr: &str) -> Result<StatsSnapshot, ServeError> {
+    let response = roundtrip(addr, "GET", "/stats", "")?;
+    match response.status {
+        200 => parse_body(&response),
+        status => Err(status_error(status, &response)),
+    }
+}
+
+/// Triggers a checkpoint rescan via `/rescan`.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connection failures or non-200 answers.
+pub fn rescan(addr: &str) -> Result<SwapReport, ServeError> {
+    let response = roundtrip(addr, "POST", "/rescan", "")?;
+    match response.status {
+        200 => parse_body(&response),
+        status => Err(status_error(status, &response)),
+    }
+}
+
+/// Retries `/healthz` until the server answers or `timeout_us` of wall
+/// time elapses. Useful right after spawning a server whose bound
+/// address was just learned.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the deadline passes without a healthy
+/// answer.
+pub fn wait_ready(addr: &str, timeout_us: u64) -> Result<HealthBody, ServeError> {
+    let timer = WallTimer::start();
+    let mut last;
+    loop {
+        match healthz(addr) {
+            Ok(body) => return Ok(body),
+            Err(e) => last = e.to_string(),
+        }
+        if timer.elapsed_us() > timeout_us {
+            return Err(ServeError::Io(format!("server at {addr} not ready: {last}")));
+        }
+    }
+}
+
+/// One request/response exchange on a fresh connection.
+fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> Result<HttpResponse, ServeError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| ServeError::Io(format!("connect {addr}: {e}")))?;
+    let mut writer =
+        stream.try_clone().map_err(|e| ServeError::Io(format!("clone stream: {e}")))?;
+    write_request(&mut writer, method, path, body.as_bytes())
+        .map_err(|e| ServeError::Io(format!("write: {e}")))?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Deserializes a JSON body into the expected type.
+fn parse_body<T: serde::Deserialize>(response: &HttpResponse) -> Result<T, ServeError> {
+    let text = std::str::from_utf8(&response.body)
+        .map_err(|e| ServeError::BadRequest(format!("non-UTF-8 body: {e}")))?;
+    serde_json::from_str(text)
+        .map_err(|e| ServeError::BadRequest(format!("unexpected body {text:?}: {e}")))
+}
+
+/// Maps an unexpected status to an error carrying the server's detail.
+fn status_error(status: u16, response: &HttpResponse) -> ServeError {
+    let detail = String::from_utf8_lossy(&response.body).to_string();
+    match status {
+        400 => ServeError::BadRequest(detail),
+        _ => ServeError::Io(format!("unexpected status {status}: {detail}")),
+    }
+}

@@ -1,0 +1,39 @@
+//! `simpadv-serve`: a batched, adversarial-aware inference service.
+//!
+//! The paper argues for a *cheap, deployable* single-step defense; this
+//! crate is the deployment half of that claim. It serves a trained
+//! classifier over plain TCP/HTTP (`std::net`, no external
+//! dependencies) with three production-shaped behaviors layered on the
+//! existing subsystems:
+//!
+//! * **Dynamic batching** ([`batcher`]) — requests coalesce on a
+//!   bounded queue up to `batch_max` or `batch_timeout_us`, then run as
+//!   ONE forward pass. Eval-mode forwards are row-independent, so the
+//!   batched rows are bitwise identical to single-input inference (the
+//!   determinism suite asserts it).
+//! * **Backpressure** — a full queue rejects loudly (HTTP 503 with a
+//!   typed body), never silently drops.
+//! * **Hot-swap** — the server watches a
+//!   [`simpadv_resilience::CheckpointStore`] directory and atomically
+//!   installs newer generations at batch boundaries; unreadable
+//!   generations are skipped (counter `serve/generation_skipped`) and
+//!   the last valid one keeps serving.
+//!
+//! Requests may carry a ground-truth label and an `adversarial` flag,
+//! so per-generation clean-vs-adversarial accuracy is monitored live —
+//! the production mirror of Table I's offline evaluation.
+
+pub mod batcher;
+pub mod client;
+pub mod error;
+pub mod model;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use batcher::{BatchConfig, Engine, SwapReport};
+pub use error::ServeError;
+pub use model::{load_latest_servable, ServedModel};
+pub use protocol::{HealthBody, PredictRequest, PredictResponse, RejectBody};
+pub use server::{ServeConfig, Server};
+pub use stats::{GenerationClassStats, LatencySummary, OccupancySummary, StatsSnapshot};

@@ -1,0 +1,289 @@
+//! Wire types and a minimal HTTP/1.1 framing layer.
+//!
+//! The server speaks just enough HTTP for curl and the load generator:
+//! a request line, headers (only `Content-Length` is interpreted), and
+//! an optional body. Request and response payloads are the same JSON
+//! value-tree the rest of the workspace uses, so an inference response
+//! round-trips `f32` logits bitwise (the JSON writer renders floats with
+//! shortest-round-trip formatting).
+
+use crate::error::ServeError;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Read, Write};
+
+/// Upper bound on accepted request bodies; anything larger is a
+/// [`ServeError::BadRequest`] before buffering.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One inference request: a flat pixel row plus optional ground truth.
+///
+/// `label` lets the server maintain per-generation accuracy counters;
+/// `adversarial` tags which traffic class the request belongs to (the
+/// load generator sets it on perturbed inputs, mirroring a deployment
+/// that routes canary attack traffic through the same endpoint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Flattened image pixels; length must equal the model input width.
+    pub pixels: Vec<f32>,
+    /// Optional ground-truth class for accuracy accounting.
+    pub label: Option<usize>,
+    /// Whether this input was adversarially perturbed upstream.
+    pub adversarial: bool,
+}
+
+/// One inference answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Argmax class under the serving generation.
+    pub prediction: usize,
+    /// Raw logits, bitwise as computed (floats round-trip exactly).
+    pub logits: Vec<f32>,
+    /// Checkpoint generation that produced this answer.
+    pub generation: u64,
+}
+
+/// Body of a `503` backpressure rejection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejectBody {
+    /// Always `"queue_full"`.
+    pub error: String,
+    /// Queue capacity at the moment of rejection (retry sizing hint).
+    pub queue_capacity: u64,
+}
+
+/// Body of any non-200, non-503 error answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable failure description.
+    pub error: String,
+}
+
+/// Body of a `/healthz` probe answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// Always `"ok"` when the listener answers at all.
+    pub status: String,
+    /// Currently serving checkpoint generation.
+    pub generation: u64,
+    /// Training method of the serving model.
+    pub method: String,
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query strings are not interpreted).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Reads one HTTP request off a buffered stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream before any bytes (the
+/// peer closed a keep-alive connection).
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on malformed framing, [`ServeError::Io`]
+/// on socket failures.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequest>, ServeError> {
+    let line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(ServeError::BadRequest(format!("malformed request line: {line:?}")));
+    }
+    let content_length = read_headers(reader)?;
+    let body = read_body(reader, content_length)?;
+    Ok(Some(HttpRequest { method, path, body }))
+}
+
+/// Reads one HTTP response off a buffered stream (client side).
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on malformed framing, [`ServeError::Io`]
+/// on socket failures or premature end-of-stream.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<HttpResponse, ServeError> {
+    let line = read_line(reader)?
+        .ok_or_else(|| ServeError::Io("connection closed before status line".to_string()))?;
+    let mut parts = line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServeError::BadRequest(format!("malformed status line: {line:?}")))?;
+    if !version.starts_with("HTTP/") {
+        return Err(ServeError::BadRequest(format!("malformed status line: {line:?}")));
+    }
+    let content_length = read_headers(reader)?;
+    let body = read_body(reader, content_length)?;
+    Ok(HttpResponse { status, body })
+}
+
+/// Writes a complete HTTP response with a JSON content type.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes a complete HTTP request with a JSON body (client side).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_request<W: Write>(
+    writer: &mut W,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: simpadv\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Reads one CRLF-terminated line; `None` on immediate end-of-stream.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, ServeError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(|e| ServeError::Io(format!("read: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Consumes header lines up to the blank separator, returning the
+/// parsed `Content-Length` (0 when absent).
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<usize, ServeError> {
+    let mut content_length = 0usize;
+    loop {
+        let line = match read_line(reader)? {
+            None => return Err(ServeError::BadRequest("truncated headers".to_string())),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            return Ok(content_length);
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    ServeError::BadRequest(format!("bad content-length: {value:?}"))
+                })?;
+            }
+        }
+    }
+}
+
+/// Reads exactly `len` body bytes, bounded by [`MAX_BODY_BYTES`].
+fn read_body<R: Read>(reader: &mut R, len: usize) -> Result<Vec<u8>, ServeError> {
+    if len > MAX_BODY_BYTES {
+        return Err(ServeError::BadRequest(format!(
+            "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(|e| ServeError::Io(format!("read body: {e}")))?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips_through_framing() {
+        let body = serde_json::to_string(&PredictRequest {
+            pixels: vec![0.25, 0.5],
+            label: Some(3),
+            adversarial: true,
+        })
+        .unwrap();
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/predict", body.as_bytes()).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let parsed = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path, "/predict");
+        let req: PredictRequest =
+            serde_json::from_str(std::str::from_utf8(&parsed.body).unwrap()).unwrap();
+        assert_eq!(req.label, Some(3));
+        assert!(req.adversarial);
+        // A second read on the drained keep-alive stream is a clean EOF.
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_round_trips_with_bitwise_floats() {
+        let resp = PredictResponse {
+            prediction: 7,
+            logits: vec![0.1f32, -3.75e-5, 1234.5678],
+            generation: 2,
+        };
+        let body = serde_json::to_string(&resp).unwrap();
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "OK", body.as_bytes()).unwrap();
+        let parsed = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(parsed.status, 200);
+        let back: PredictResponse =
+            serde_json::from_str(std::str::from_utf8(&parsed.body).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        for (a, b) in back.logits.iter().zip(resp.logits.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "logits must round-trip bitwise");
+        }
+    }
+
+    #[test]
+    fn malformed_request_line_is_a_bad_request() {
+        let mut reader = BufReader::new(&b"NOPE\r\n\r\n"[..]);
+        let err = read_request(&mut reader).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_buffering() {
+        let wire =
+            format!("POST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let mut reader = BufReader::new(wire.as_bytes());
+        let err = read_request(&mut reader).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Server-side statistics: latency percentiles, batch occupancy, and
+//! per-generation clean-vs-adversarial accuracy counters.
+//!
+//! Wall-clock quantities (latencies, throughput) live here and in the
+//! benchmark artifact's `meta` section — never in the logical trace
+//! stream, whose events must be identical across thread counts and
+//! machines. Logical quantities (request/correct counts per generation
+//! and traffic class) are mirrored into `crates/trace` counters by the
+//! batch engine.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning (a panicked holder cannot
+/// corrupt these monotonic counters in a way worth propagating).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct ClassCounts {
+    requests: u64,
+    labeled: u64,
+    correct: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    per_gen: BTreeMap<(u64, bool), ClassCounts>,
+    latencies_us: Vec<u64>,
+    occupancies: Vec<u64>,
+    served: u64,
+    rejected: u64,
+    skipped_generations: u64,
+    swapped_generations: u64,
+}
+
+/// Thread-safe registry the batch engine reports into.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    inner: Mutex<StatsInner>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        StatsRegistry::default()
+    }
+
+    /// Records one completed request.
+    pub fn record_request(
+        &self,
+        generation: u64,
+        adversarial: bool,
+        label: Option<usize>,
+        prediction: usize,
+        latency_us: u64,
+    ) {
+        let mut inner = lock(&self.inner);
+        inner.served += 1;
+        inner.latencies_us.push(latency_us);
+        let counts = inner.per_gen.entry((generation, adversarial)).or_default();
+        counts.requests += 1;
+        if let Some(label) = label {
+            counts.labeled += 1;
+            if label == prediction {
+                counts.correct += 1;
+            }
+        }
+    }
+
+    /// Records the occupancy of one dispatched batch.
+    pub fn record_batch(&self, occupancy: usize) {
+        lock(&self.inner).occupancies.push(occupancy as u64);
+    }
+
+    /// Records one backpressure rejection.
+    pub fn record_rejected(&self) {
+        lock(&self.inner).rejected += 1;
+    }
+
+    /// Records one generation skipped because it failed to load/decode.
+    pub fn record_skipped_generation(&self) {
+        lock(&self.inner).skipped_generations += 1;
+    }
+
+    /// Records one successful hot swap.
+    pub fn record_swapped_generation(&self) {
+        lock(&self.inner).swapped_generations += 1;
+    }
+
+    /// Number of requests answered so far.
+    pub fn served(&self) -> u64 {
+        lock(&self.inner).served
+    }
+
+    /// Takes a consistent snapshot with derived percentiles.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let inner = lock(&self.inner);
+        let mut generations: Vec<GenerationClassStats> = Vec::new();
+        for ((generation, adversarial), counts) in &inner.per_gen {
+            generations.push(GenerationClassStats {
+                generation: *generation,
+                traffic: if *adversarial { "adversarial" } else { "clean" }.to_string(),
+                requests: counts.requests,
+                labeled: counts.labeled,
+                correct: counts.correct,
+            });
+        }
+        StatsSnapshot {
+            served: inner.served,
+            rejected: inner.rejected,
+            skipped_generations: inner.skipped_generations,
+            swapped_generations: inner.swapped_generations,
+            generations,
+            latency_us: LatencySummary::from_samples(&inner.latencies_us),
+            batch_occupancy: OccupancySummary::from_samples(&inner.occupancies),
+        }
+    }
+}
+
+/// Accuracy counters for one (generation, traffic-class) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationClassStats {
+    /// Checkpoint generation that answered these requests.
+    pub generation: u64,
+    /// `"clean"` or `"adversarial"`.
+    pub traffic: String,
+    /// Requests answered.
+    pub requests: u64,
+    /// Requests that carried a ground-truth label.
+    pub labeled: u64,
+    /// Labeled requests predicted correctly.
+    pub correct: u64,
+}
+
+/// Latency percentiles over all answered requests (wall-clock; lives in
+/// `meta` sections only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// 50th percentile, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Worst observed, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Computes percentiles from raw microsecond samples.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary { count: 0, p50_us: 0, p90_us: 0, p99_us: 0, max_us: 0 };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        LatencySummary {
+            count: sorted.len() as u64,
+            p50_us: percentile(&sorted, 0.50),
+            p90_us: percentile(&sorted, 0.90),
+            p99_us: percentile(&sorted, 0.99),
+            max_us: *sorted.last().unwrap_or(&0),
+        }
+    }
+}
+
+/// Batch-occupancy summary: how full the coalesced batches ran.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancySummary {
+    /// Number of dispatched batches.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean: f64,
+    /// Largest batch dispatched.
+    pub max: u64,
+}
+
+impl OccupancySummary {
+    /// Summarizes raw per-batch occupancy samples.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return OccupancySummary { batches: 0, mean: 0.0, max: 0 };
+        }
+        let total: u64 = samples.iter().sum();
+        OccupancySummary {
+            batches: samples.len() as u64,
+            mean: total as f64 / samples.len() as f64,
+            max: *samples.iter().max().unwrap_or(&0),
+        }
+    }
+}
+
+/// Nearest-rank percentile over a pre-sorted sample vector.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// A point-in-time view of the registry, served on `/stats` and folded
+/// into `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests answered.
+    pub served: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Generations skipped as unreadable during rescans.
+    pub skipped_generations: u64,
+    /// Successful hot swaps since startup.
+    pub swapped_generations: u64,
+    /// Per-(generation, traffic) accuracy counters.
+    pub generations: Vec<GenerationClassStats>,
+    /// Request latency percentiles (wall-clock).
+    pub latency_us: LatencySummary,
+    /// Batch fullness.
+    pub batch_occupancy: OccupancySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_hit_known_ranks() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 51);
+        assert_eq!(s.p90_us, 90);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_zeroed() {
+        let s = StatsRegistry::new().snapshot();
+        assert_eq!(s.served, 0);
+        assert_eq!(s.latency_us.count, 0);
+        assert_eq!(s.batch_occupancy.batches, 0);
+        assert!(s.generations.is_empty());
+    }
+
+    #[test]
+    fn per_generation_accuracy_buckets_split_by_traffic() {
+        let reg = StatsRegistry::new();
+        reg.record_request(3, false, Some(1), 1, 10);
+        reg.record_request(3, false, Some(2), 1, 20);
+        reg.record_request(3, true, Some(1), 1, 30);
+        reg.record_request(4, true, None, 0, 40);
+        let snap = reg.snapshot();
+        assert_eq!(snap.served, 4);
+        assert_eq!(snap.generations.len(), 3);
+        let clean3 = &snap.generations[0];
+        assert_eq!((clean3.generation, clean3.traffic.as_str()), (3, "clean"));
+        assert_eq!((clean3.requests, clean3.labeled, clean3.correct), (2, 2, 1));
+        let adv4 = &snap.generations[2];
+        assert_eq!((adv4.generation, adv4.traffic.as_str()), (4, "adversarial"));
+        assert_eq!((adv4.requests, adv4.labeled, adv4.correct), (1, 0, 0));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_snapshot() {
+        let reg = StatsRegistry::new();
+        reg.record_request(1, true, Some(0), 0, 5);
+        reg.record_batch(1);
+        let snap = reg.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -48,6 +48,61 @@ fn generate_train_evaluate_attack_workflow() {
 }
 
 #[test]
+fn serve_verb_answers_requests_then_shuts_down() {
+    use simpadv_serve::{client, PredictRequest, ServedModel};
+
+    let dir = std::env::temp_dir().join("simpadv-cli-serve-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let model_dir = dir.join("ckpts");
+    let store = simpadv_resilience::CheckpointStore::open(&model_dir).unwrap();
+    let spec = simpadv::ModelSpec::small_mlp();
+    ServedModel::capture(&spec, &spec.build(6), "mnist", "test").publish(&store).unwrap();
+
+    let data = simpadv_data::SynthDataset::Mnist.generate(&simpadv_data::SynthConfig::new(4, 13));
+    let addr_file = dir.join("addr.txt");
+    let line = format!(
+        "serve --model-dir {} --requests 4 --addr-file {} --batch-max 2",
+        model_dir.display(),
+        addr_file.display()
+    );
+
+    // The verb blocks until 4 requests are served, so drive it from a
+    // sibling thread that discovers the bound port through --addr-file.
+    let rt = simpadv_runtime::Runtime::new(2);
+    let (text, predictions) = rt.par_join(
+        || cli(&line).unwrap(),
+        || {
+            let timer = simpadv_trace::clock::WallTimer::start();
+            let addr = loop {
+                if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+                    if !addr.trim().is_empty() {
+                        break addr.trim().to_string();
+                    }
+                }
+                assert!(timer.elapsed_us() < 10_000_000, "server never wrote --addr-file");
+            };
+            client::wait_ready(&addr, 5_000_000).unwrap();
+            (0..data.len())
+                .map(|i| {
+                    let request = PredictRequest {
+                        pixels: data.images().row(i).into_vec(),
+                        label: Some(data.labels()[i]),
+                        adversarial: false,
+                    };
+                    match client::predict(&addr, &request).unwrap() {
+                        client::PredictOutcome::Predicted(resp) => resp.prediction,
+                        client::PredictOutcome::Rejected(r) => panic!("rejected: {r:?}"),
+                    }
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    assert_eq!(predictions.len(), 4);
+    assert!(text.contains("serving generation 1"), "missing banner in:\n{text}");
+    assert!(text.contains("served 4 request(s)"), "missing shutdown line in:\n{text}");
+}
+
+#[test]
 fn cli_surfaces_helpful_errors() {
     let err = cli("evaluate --dataset mnist").unwrap_err();
     assert!(err.contains("--model"), "unhelpful error: {err}");

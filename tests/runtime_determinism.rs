@@ -11,6 +11,7 @@ use simpadv_attacks::parallel::craft_parallel;
 use simpadv_attacks::{Bim, Pgd};
 use simpadv_data::{SynthConfig, SynthDataset};
 use simpadv_runtime::{set_global_threads, split_seed, Runtime};
+use simpadv_serve::{BatchConfig, Engine, PredictRequest, ServedModel};
 
 fn bits(values: &[f32]) -> Vec<u32> {
     values.iter().map(|v| v.to_bits()).collect()
@@ -64,6 +65,43 @@ fn thread_count_never_changes_results() {
     let (bim_parallel, pgd_parallel) = craft(4);
     assert_eq!(bim_serial, bim_parallel, "BIM batches diverged");
     assert_eq!(pgd_serial, pgd_parallel, "seeded PGD batches diverged");
+
+    // Batch-coalesced inference (crates/serve): one coalesced forward
+    // must be bitwise identical to N individual forwards, and both must
+    // be thread-count invariant — the serving path shares the tensor
+    // kernels' row-independence guarantee.
+    let serve_data = SynthDataset::Mnist.generate(&SynthConfig::new(10, 9));
+    let requests: Vec<PredictRequest> = (0..serve_data.len())
+        .map(|i| PredictRequest {
+            pixels: serve_data.images().row(i).into_vec(),
+            label: Some(serve_data.labels()[i]),
+            adversarial: i % 2 == 0,
+        })
+        .collect();
+    let infer = |threads: usize| -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        set_global_threads(threads);
+        let dir = std::env::temp_dir().join(format!("simpadv-batch-determinism-{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = simpadv_resilience::CheckpointStore::open(&dir).unwrap();
+        let spec = ModelSpec::small_mlp();
+        ServedModel::capture(&spec, &spec.build(5), "mnist", "test").publish(&store).unwrap();
+        // batch_max 4 over 10 requests: coalesced chunks of 4/4/2
+        let engine =
+            Engine::new(store, BatchConfig { batch_max: 4, batch_timeout_us: 100, queue_cap: 16 })
+                .unwrap();
+        let batched: Vec<Vec<u32>> =
+            engine.infer_batch(&requests).unwrap().iter().map(|r| bits(&r.logits)).collect();
+        let singles: Vec<Vec<u32>> = requests
+            .iter()
+            .map(|r| bits(&engine.infer_batch(std::slice::from_ref(r)).unwrap()[0].logits))
+            .collect();
+        (batched, singles)
+    };
+    let (batched_serial, singles_serial) = infer(1);
+    let (batched_parallel, singles_parallel) = infer(4);
+    assert_eq!(batched_serial, singles_serial, "coalesced batch diverged from single forwards");
+    assert_eq!(batched_serial, batched_parallel, "batched inference diverged across threads");
+    assert_eq!(singles_serial, singles_parallel, "single inference diverged across threads");
 
     set_global_threads(1);
 }
