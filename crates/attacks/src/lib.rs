@@ -63,5 +63,7 @@ pub use margin::MarginPgd;
 pub use mim::Mim;
 pub use noise::RandomNoise;
 pub use pgd::Pgd;
-pub use projection::{linf_distance, project_ball, signed_step};
+pub use projection::{
+    linf_distance, project_ball, project_ball_bytes, signed_step, signed_step_bytes,
+};
 pub use targeted::LeastLikelyFgsm;

@@ -20,6 +20,23 @@ pub fn project_ball(x: &Tensor, origin: &Tensor, eps: f32) -> Tensor {
     x.maximum(&lo).minimum(&hi)
 }
 
+/// Logical bytes one [`project_ball`] call moves over `elems` pixels:
+/// `x` and `origin` read, the projected batch written, at 4 bytes per
+/// `f32` (the derived bound tensors are not counted — they are
+/// implementation detail, not kernel interface). Shape introspection
+/// for the kernel microbenchmark lab.
+pub fn project_ball_bytes(elems: usize) -> u64 {
+    4 * 3 * elems as u64
+}
+
+/// Logical bytes one [`signed_step`] call moves over `elems` pixels:
+/// `x`, `origin` and the input gradient read, the stepped batch
+/// written. The model passes behind the gradient are accounted
+/// separately through the trace clock's forward/backward counters.
+pub fn signed_step_bytes(elems: usize) -> u64 {
+    4 * 4 * elems as u64
+}
+
 /// The l∞ distance between two tensors.
 ///
 /// # Panics
@@ -129,5 +146,14 @@ mod tests {
     fn negative_epsilon_rejected() {
         let x = Tensor::zeros(&[2]);
         project_ball(&x, &x, -0.1);
+    }
+
+    #[test]
+    fn byte_formulas_count_tensor_traffic() {
+        // project_ball: x + origin read, output written
+        assert_eq!(project_ball_bytes(784), 3 * 4 * 784);
+        // signed_step: x + origin + gradient read, output written
+        assert_eq!(signed_step_bytes(784), 4 * 4 * 784);
+        assert_eq!(project_ball_bytes(0), 0);
     }
 }

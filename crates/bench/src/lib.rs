@@ -18,6 +18,7 @@ use simpadv::experiments::ExperimentScale;
 use simpadv_trace::TraceFormat;
 
 pub mod baseline;
+pub mod kernels;
 
 /// The common CLI of the regeneration binaries: workload scale, thread
 /// override, trace destination, and crash-safe checkpointing.

@@ -98,9 +98,16 @@ COMMANDS
             (default 25%) is only warned about
   bench compare BASELINE CANDIDATE [--wall-threshold PCT]
             [--accuracy-tolerance T]
-            compare two BENCH_<experiment>.json artifacts; logical
-            regressions exit non-zero, wall drift warns (the CI perf
-            gate)
+            compare two BENCH_<experiment>.json artifacts (training
+            baseline, serve artifact, or kernel scoreboard — kinds are
+            auto-detected and must match); logical regressions exit
+            non-zero, wall drift warns (the CI perf gate)
+  bench kernels [--scale smoke|quick|full] [--target-us N] [--repeat N]
+            [--warmup N] [--out FILE] [--flame-dir DIR]
+            run the kernel microbenchmark lab: every hot kernel at real
+            experiment shapes; logical counters are gateable, wall
+            numbers land in meta (also: cargo run --release -p
+            simpadv-bench --bin kernels)
   lint [--root DIR] [--rules SPEC]
             run the workspace invariant wall (rules R1-R11 syntactic,
             S1-S5 semantic; see `simpadv-lint --list`); any diagnostic
@@ -534,78 +541,139 @@ fn cmd_bench<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "trace-format",
         "wall-threshold",
         "accuracy-tolerance",
+        "scale",
+        "target-us",
+        "repeat",
+        "warmup",
+        "out",
+        "flame-dir",
     ])?;
     match args.positional(0) {
-        Some("compare") => {
-            let (Some(base_path), Some(cand_path)) = (args.positional(1), args.positional(2))
-            else {
-                return Err(CliError("bench compare needs BASELINE and CANDIDATE files".into()));
-            };
-            if args.positional(3).is_some() {
-                return Err(CliError("bench compare takes exactly two files".into()));
-            }
-            let read_text = |path: &str| -> Result<String, CliError> {
-                std::fs::read_to_string(path)
-                    .map_err(|e| CliError(format!("cannot read artifact {path}: {e}")))
-            };
-            let (base_text, cand_text) = (read_text(base_path)?, read_text(cand_path)?);
-            // Dispatch on the artifact's `experiment` tag: `bench serve`
-            // emits a serving artifact with its own logical schema.
-            let kind = |text: &str, path: &str| -> Result<bool, CliError> {
-                let value: serde::Value = serde_json::from_str(text)
-                    .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))?;
-                Ok(matches!(
-                    value.get("experiment"),
-                    Some(serde::Value::String(s)) if s == simpadv_obs::SERVE_EXPERIMENT
-                ))
-            };
-            let (base_serve, cand_serve) =
-                (kind(&base_text, base_path)?, kind(&cand_text, cand_path)?);
-            if base_serve != cand_serve {
-                return Err(CliError(format!(
-                    "bench compare: cannot compare a serve artifact with a training \
-                     baseline ({base_path} vs {cand_path})"
-                )));
-            }
-            let report = if base_serve {
-                let read =
-                    |text: &str, path: &str| -> Result<simpadv_obs::ServeArtifact, CliError> {
-                        serde_json::from_str(text)
-                            .map_err(|e| CliError(format!("invalid serve artifact {path}: {e}")))
-                    };
-                simpadv_obs::compare_serve(
-                    &read(&base_text, base_path)?,
-                    &read(&cand_text, cand_path)?,
-                )
-            } else {
-                let read =
-                    |text: &str, path: &str| -> Result<simpadv_obs::BenchArtifact, CliError> {
-                        serde_json::from_str(text)
-                            .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))
-                    };
-                let opts = simpadv_obs::CompareOptions {
-                    wall_threshold_pct: args.get_num("wall-threshold", 25.0f64)?,
-                    accuracy_tolerance: args.get_num("accuracy-tolerance", 1e-6f64)?,
-                };
-                simpadv_obs::compare(
-                    &read(&base_text, base_path)?,
-                    &read(&cand_text, cand_path)?,
-                    &opts,
-                )
-            };
-            write!(out, "{}", report.render())?;
-            if report.passed() {
-                Ok(())
-            } else {
-                Err(CliError(format!(
-                    "bench compare: {} logical regression(s) vs {base_path}",
-                    report.regressions.len()
-                )))
-            }
-        }
-        Some(other) => Err(CliError(format!("unknown bench action '{other}' (compare)"))),
-        None => Err(CliError("usage: bench compare BASELINE CANDIDATE".into())),
+        Some("compare") => cmd_bench_compare(args, out),
+        Some("kernels") => cmd_bench_kernels(args, out),
+        Some(other) => Err(CliError(format!("unknown bench action '{other}' (compare|kernels)"))),
+        None => Err(CliError("usage: bench compare BASELINE CANDIDATE | bench kernels".into())),
     }
+}
+
+/// `bench compare` — classify both artifacts by their `experiment` tag
+/// ([`simpadv_obs::ArtifactKind`]) and dispatch to the matching logical
+/// comparison; mixing kinds is an error naming both sides.
+fn cmd_bench_compare<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let (Some(base_path), Some(cand_path)) = (args.positional(1), args.positional(2)) else {
+        return Err(CliError("bench compare needs BASELINE and CANDIDATE files".into()));
+    };
+    if args.positional(3).is_some() {
+        return Err(CliError("bench compare takes exactly two files".into()));
+    }
+    let read_text = |path: &str| -> Result<String, CliError> {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read artifact {path}: {e}")))
+    };
+    let (base_text, cand_text) = (read_text(base_path)?, read_text(cand_path)?);
+    let kind = |text: &str, path: &str| -> Result<simpadv_obs::ArtifactKind, CliError> {
+        let value: serde::Value = serde_json::from_str(text)
+            .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))?;
+        let tag = match value.get("experiment") {
+            Some(serde::Value::String(s)) => s.as_str(),
+            _ => "",
+        };
+        Ok(simpadv_obs::ArtifactKind::from_experiment(tag))
+    };
+    let (base_kind, cand_kind) = (kind(&base_text, base_path)?, kind(&cand_text, cand_path)?);
+    if base_kind != cand_kind {
+        return Err(CliError(format!(
+            "bench compare: cannot compare a {} with a {} ({base_path} is a {}, \
+             {cand_path} is a {})",
+            base_kind.label(),
+            cand_kind.label(),
+            base_kind.label(),
+            cand_kind.label(),
+        )));
+    }
+    let opts = simpadv_obs::CompareOptions {
+        wall_threshold_pct: args.get_num("wall-threshold", 25.0f64)?,
+        accuracy_tolerance: args.get_num("accuracy-tolerance", 1e-6f64)?,
+    };
+    let report = match base_kind {
+        simpadv_obs::ArtifactKind::Serve => {
+            let read = |text: &str, path: &str| -> Result<simpadv_obs::ServeArtifact, CliError> {
+                serde_json::from_str(text)
+                    .map_err(|e| CliError(format!("invalid serve artifact {path}: {e}")))
+            };
+            simpadv_obs::compare_serve(&read(&base_text, base_path)?, &read(&cand_text, cand_path)?)
+        }
+        simpadv_obs::ArtifactKind::Kernels => {
+            let read = |text: &str, path: &str| -> Result<simpadv_obs::KernelsArtifact, CliError> {
+                serde_json::from_str(text)
+                    .map_err(|e| CliError(format!("invalid kernel scoreboard {path}: {e}")))
+            };
+            simpadv_obs::compare_kernels(
+                &read(&base_text, base_path)?,
+                &read(&cand_text, cand_path)?,
+                &opts,
+            )
+        }
+        simpadv_obs::ArtifactKind::Training => {
+            let read = |text: &str, path: &str| -> Result<simpadv_obs::BenchArtifact, CliError> {
+                serde_json::from_str(text)
+                    .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))
+            };
+            simpadv_obs::compare(
+                &read(&base_text, base_path)?,
+                &read(&cand_text, cand_path)?,
+                &opts,
+            )
+        }
+    };
+    write!(out, "{}", report.render())?;
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(CliError(format!(
+            "bench compare: {} logical regression(s) vs {base_path}",
+            report.regressions.len()
+        )))
+    }
+}
+
+/// `bench kernels` — run the kernel microbenchmark lab (see
+/// `simpadv_bench::kernels`) and write the scoreboard artifact.
+fn cmd_bench_kernels<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    if args.positional(1).is_some() {
+        return Err(CliError("bench kernels takes no positional arguments".into()));
+    }
+    if args.require("trace").is_ok() {
+        return Err(CliError(
+            "bench kernels records its own in-memory trace; --trace is unsupported".into(),
+        ));
+    }
+    use simpadv_bench::kernels::KernelsOpts;
+    let mut opts = KernelsOpts::default();
+    opts.target_iter_wall_us = match args.get_or("scale", "quick") {
+        "smoke" => 20_000,
+        "quick" => 100_000,
+        "full" => 500_000,
+        other => return Err(CliError(format!("unknown scale '{other}' (smoke|quick|full)"))),
+    };
+    opts.target_iter_wall_us = args.get_num("target-us", opts.target_iter_wall_us)?;
+    opts.repeat = args.get_num("repeat", opts.repeat)?;
+    opts.warmup = args.get_num("warmup", opts.warmup)?;
+    opts.out = std::path::PathBuf::from(args.get_or("out", "BENCH_kernels.json"));
+    if let Ok(dir) = args.require("flame-dir") {
+        opts.flame_dir = Some(std::path::PathBuf::from(dir));
+    }
+    // --threads was already applied process-wide by `run`; record it in
+    // the artifact's run conditions.
+    if let Ok(v) = args.require("threads") {
+        opts.threads = v.parse().ok();
+    }
+    let (artifact, events) = simpadv_bench::kernels::run_sweep(&opts);
+    write!(out, "{}", simpadv_bench::kernels::render_table(&artifact))?;
+    simpadv_bench::kernels::write_outputs(&opts, &artifact, &events)
+        .map_err(|e| CliError(format!("cannot write kernel scoreboard: {e}")))?;
+    writeln!(out, "wrote {}", opts.out.display())?;
+    Ok(())
 }
 
 /// `lint` — the workspace invariant wall, and `lint graph` — the DOT
@@ -1071,6 +1139,87 @@ mod tests {
         let other = write_temp("serve-mixed.json", &serde_json::to_string(&training).unwrap());
         let err = run_line(&format!("bench compare {base} {other}")).unwrap_err();
         assert!(err.to_string().contains("cannot compare"), "{err}");
+    }
+
+    fn tiny_kernels_artifact() -> simpadv_obs::KernelsArtifact {
+        simpadv_obs::KernelsArtifact {
+            schema_version: simpadv_obs::KERNELS_SCHEMA_VERSION,
+            experiment: simpadv_obs::KERNELS_EXPERIMENT.to_string(),
+            workloads: vec![simpadv_obs::KernelRow {
+                name: "matmul/2x3x4".into(),
+                group: "matmul".into(),
+                shape: vec![2, 3, 4],
+                flops: 24,
+                bytes: 4 * (6 + 12 + 8),
+                ..simpadv_obs::KernelRow::default()
+            }],
+            events: 2,
+            trace_digest: "0011223344556677".into(),
+            meta: simpadv_obs::KernelsMeta::default(),
+        }
+    }
+
+    #[test]
+    fn bench_compare_dispatches_on_kernel_scoreboards() {
+        let artifact = tiny_kernels_artifact();
+        let base = write_temp("kernels-base.json", &serde_json::to_string(&artifact).unwrap());
+        assert!(run_line(&format!("bench compare {base} {base}")).is_ok());
+
+        // a planted logical flops regression fails the gate
+        let mut planted = artifact.clone();
+        planted.workloads[0].flops += 1;
+        let cand = write_temp("kernels-cand.json", &serde_json::to_string(&planted).unwrap());
+        let err = run_line(&format!("bench compare {base} {cand}")).unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn bench_compare_mixed_kinds_error_names_both_kinds_and_paths() {
+        let kernels = tiny_kernels_artifact();
+        let training = simpadv_obs::BenchArtifact {
+            schema_version: simpadv_obs::BENCH_SCHEMA_VERSION,
+            experiment: "table1".into(),
+            scale: simpadv_obs::ScaleInfo { train_samples: 1, test_samples: 1, epochs: 1, seed: 1 },
+            trainers: Vec::new(),
+            accuracies: Vec::new(),
+            events: 0,
+            trace_digest: String::new(),
+            meta: simpadv_obs::BenchMeta::default(),
+        };
+        let kpath = write_temp("mixed-kernels.json", &serde_json::to_string(&kernels).unwrap());
+        let tpath = write_temp("mixed-training.json", &serde_json::to_string(&training).unwrap());
+        let err = run_line(&format!("bench compare {kpath} {tpath}")).unwrap_err().to_string();
+        assert!(err.contains("cannot compare"), "{err}");
+        assert!(err.contains("kernel scoreboard"), "must name the kernel side: {err}");
+        assert!(err.contains("training baseline"), "must name the training side: {err}");
+        assert!(err.contains(&kpath), "must name the kernel file: {err}");
+        assert!(err.contains(&tpath), "must name the training file: {err}");
+        // swapped order still names both
+        let err = run_line(&format!("bench compare {tpath} {kpath}")).unwrap_err().to_string();
+        assert!(err.contains("training baseline") && err.contains("kernel scoreboard"), "{err}");
+    }
+
+    #[test]
+    fn bench_kernels_verb_writes_a_comparable_scoreboard() {
+        let dir = std::env::temp_dir().join("simpadv-cli-kernels-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_kernels.json");
+        let table = run_line(&format!(
+            "bench kernels --target-us 200 --repeat 1 --warmup 0 --out {}",
+            out.display()
+        ))
+        .unwrap();
+        assert!(table.contains("matmul/64x784x128"), "{table}");
+        assert!(table.contains("GFLOP/s"), "{table}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        let artifact: simpadv_obs::KernelsArtifact = serde_json::from_str(&text).unwrap();
+        assert_eq!(artifact.experiment, simpadv_obs::KERNELS_EXPERIMENT);
+        // the written artifact self-compares clean through the CLI
+        assert!(run_line(&format!("bench compare {} {}", out.display(), out.display())).is_ok());
+        // bad flags are rejected
+        assert!(run_line("bench kernels --scale bogus").is_err());
+        assert!(run_line("bench kernels extra").is_err());
+        assert!(run_line("bench kernels --trace t.jsonl").is_err());
     }
 
     #[test]

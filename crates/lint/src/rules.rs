@@ -713,7 +713,10 @@ fn rule_r9_durable_writes(ws: &Workspace) -> Vec<Diagnostic> {
 /// them in `WallTimer`) and the offline analyzers in `crates/obs`;
 /// everywhere else, production code times itself through the span
 /// clock so wall readings stay in `meta` and never leak into logical
-/// event content. Test code is exempt.
+/// event content. Test code is exempt. The kernel lab's calibration
+/// file earns a `lint.toml` allow entry rather than a hole here: the
+/// rule still reports it, and the allowlist records the justification
+/// (its readings feed artifact `meta` only).
 fn rule_r10_wall_clock_quarantine(ws: &Workspace) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for file in &ws.files {
@@ -1082,10 +1085,16 @@ pub fn try_reshape(&self, s: &[usize]) -> Result<T, E> { inner(s) }
                 "crates/bench/src/bin/table1.rs",
                 "use std::time::SystemTime;\nfn g() { let t = SystemTime::now(); }",
             ),
+            // the kernel lab's allow entry is scoped to calibrate.rs: a
+            // sibling file in the same module still trips the rule
+            (
+                "crates/bench/src/kernels/mod.rs",
+                "fn sweep() { let t = std::time::Instant::now(); }",
+            ),
         ];
         let d = run("R10", &files);
         let items: Vec<&str> = d.iter().map(|d| d.item.as_str()).collect();
-        assert_eq!(items, vec!["Instant", "SystemTime", "SystemTime"]);
+        assert_eq!(items, vec!["Instant", "SystemTime", "SystemTime", "Instant"]);
         assert!(d[0].message.contains("WallTimer"));
     }
 

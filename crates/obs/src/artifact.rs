@@ -1,0 +1,75 @@
+//! Artifact-kind dispatch for `bench compare`.
+//!
+//! Three artifact families share the `BENCH_*.json` naming convention
+//! and a common `experiment` tag: training baselines
+//! ([`crate::baseline::BenchArtifact`], tagged with the experiment
+//! name), the serving artifact ([`crate::serve::ServeArtifact`], tagged
+//! [`crate::serve::SERVE_EXPERIMENT`]), and the kernel scoreboard
+//! ([`crate::kernels::KernelsArtifact`], tagged
+//! [`crate::kernels::KERNELS_EXPERIMENT`]). `bench compare` classifies
+//! both files through [`ArtifactKind::from_experiment`] before picking
+//! a comparison, so mixing kinds is a typed error naming both sides
+//! rather than a spurious schema mismatch.
+
+use crate::kernels::KERNELS_EXPERIMENT;
+use crate::serve::SERVE_EXPERIMENT;
+
+/// Which comparison a `BENCH_*.json` file dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A training baseline (`table1`, `fig1`, ... experiment tags).
+    Training,
+    /// The serving-path artifact (`experiment: "serve"`).
+    Serve,
+    /// The kernel scoreboard (`experiment: "kernels"`).
+    Kernels,
+}
+
+impl ArtifactKind {
+    /// Classifies an artifact by its `experiment` tag. Any tag that is
+    /// not a reserved artifact-family name is a training experiment.
+    pub fn from_experiment(tag: &str) -> ArtifactKind {
+        match tag {
+            t if t == SERVE_EXPERIMENT => ArtifactKind::Serve,
+            t if t == KERNELS_EXPERIMENT => ArtifactKind::Kernels,
+            _ => ArtifactKind::Training,
+        }
+    }
+
+    /// Human label used in dispatch errors.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtifactKind::Training => "training baseline",
+            ArtifactKind::Serve => "serve artifact",
+            ArtifactKind::Kernels => "kernel scoreboard",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_tags_map_to_their_families() {
+        assert_eq!(ArtifactKind::from_experiment("serve"), ArtifactKind::Serve);
+        assert_eq!(ArtifactKind::from_experiment("kernels"), ArtifactKind::Kernels);
+    }
+
+    #[test]
+    fn everything_else_is_a_training_experiment() {
+        for tag in ["table1", "fig1", "fig2", "ablation", "serve2", ""] {
+            assert_eq!(ArtifactKind::from_experiment(tag), ArtifactKind::Training, "{tag}");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            ArtifactKind::Training.label(),
+            ArtifactKind::Serve.label(),
+            ArtifactKind::Kernels.label(),
+        ];
+        assert_eq!(labels.iter().collect::<std::collections::BTreeSet<_>>().len(), 3);
+    }
+}

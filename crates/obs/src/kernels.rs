@@ -1,0 +1,346 @@
+//! `BENCH_kernels.json`: the kernel-microbenchmark scoreboard artifact.
+//!
+//! Same separation as the training baseline ([`crate::baseline`]) and
+//! the serving artifact ([`crate::serve`]): the top-level sections are
+//! LOGICAL — one row per registered workload carrying the shape and the
+//! per-iteration clock counters (forward/backward/flops/attack steps)
+//! plus the logical bytes the kernel moves, all a pure function of the
+//! registry and therefore bitwise identical on any machine at any
+//! `--threads`. Everything the wall clock touches — calibrated
+//! iteration counts, per-iteration wall statistics, the derived GFLOP/s
+//! and bytes/s — is quarantined in `meta`, where [`compare_kernels`]
+//! only warns, never fails.
+
+use crate::baseline::{CompareOptions, CompareReport, WallStats, WALL_NOTE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema version for [`KernelsArtifact`]; bump on breaking change.
+pub const KERNELS_SCHEMA_VERSION: u64 = 1;
+
+/// The experiment tag distinguishing kernel scoreboards from training
+/// and serving artifacts when `bench compare` dispatches on contents.
+pub const KERNELS_EXPERIMENT: &str = "kernels";
+
+/// One workload's logical cost: the deterministic, gateable projection
+/// of a single kernel iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelRow {
+    /// Workload id, e.g. `matmul/64x784x128`.
+    pub name: String,
+    /// Registry group (`matmul`, `conv`, `attack`, `serve`).
+    pub group: String,
+    /// Shape parameters in registry order (e.g. `[m, k, n]`).
+    pub shape: Vec<u64>,
+    /// Logical forward passes per iteration.
+    pub forward: u64,
+    /// Logical backward passes per iteration.
+    pub backward: u64,
+    /// Logical multiply-accumulate proxy per iteration.
+    pub flops: u64,
+    /// Logical signed-gradient attack steps per iteration.
+    pub attack_steps: u64,
+    /// Logical bytes the kernel reads + writes per iteration (from the
+    /// shape arithmetic, not from measurement).
+    pub bytes: u64,
+}
+
+/// One workload's wall-clock measurements. Machine-dependent; lives in
+/// `meta` and is never grounds for a gate failure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelWallRow {
+    /// Workload id (joins against [`KernelRow::name`]).
+    pub name: String,
+    /// Calibrated iterations per timed repeat.
+    pub iters: u64,
+    /// Wall seconds per iteration, median/min/max over `--repeat` runs.
+    pub wall_per_iter_s: WallStats,
+    /// Logical flops / median wall seconds, in GFLOP/s (0 when the
+    /// workload is pure data movement).
+    pub gflops: f64,
+    /// Logical bytes / median wall seconds, in GB/s.
+    pub gbytes_per_s: f64,
+}
+
+/// Non-logical run conditions and the per-workload wall table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelsMeta {
+    /// `--threads` the sweep was pinned to (0 = runtime default).
+    pub threads: u64,
+    /// Cores the producing machine advertised.
+    pub threads_available: u64,
+    /// `--repeat` count behind the wall statistics.
+    pub repeat: u64,
+    /// Warmup iterations run before each timed loop.
+    pub warmup: u64,
+    /// Wall budget each calibrated loop aims for, microseconds.
+    pub target_iter_wall_us: u64,
+    /// Per-workload wall measurements.
+    pub wall: Vec<KernelWallRow>,
+    /// Standing caveat about interpreting the wall numbers.
+    pub note: String,
+}
+
+/// The kernel scoreboard written by `bench kernels`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelsArtifact {
+    /// Always [`KERNELS_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Always [`KERNELS_EXPERIMENT`].
+    pub experiment: String,
+    /// One logical row per registered workload, in registry order.
+    pub workloads: Vec<KernelRow>,
+    /// Events in the sweep's single-iteration logical trace.
+    pub events: u64,
+    /// FNV-1a digest over that trace's logical projection
+    /// ([`crate::baseline::logical_digest`]).
+    pub trace_digest: String,
+    /// Machine-dependent numbers, quarantined.
+    pub meta: KernelsMeta,
+}
+
+impl KernelsArtifact {
+    /// The standing wall-number caveat, for the `meta.note` field.
+    pub fn wall_note() -> String {
+        WALL_NOTE.to_string()
+    }
+}
+
+fn compare_counter(out: &mut Vec<String>, name: &str, what: &str, base: u64, cand: u64) {
+    if base != cand {
+        out.push(format!("workload '{name}': logical {what} changed {base} -> {cand}"));
+    }
+}
+
+/// Compares two kernel scoreboards: logical sections must match
+/// exactly; wall drift only warns.
+///
+/// Fails on: schema/experiment mismatch, a workload missing from either
+/// side, any per-row shape or logical-counter change, event-count or
+/// trace-digest changes. Warns on: per-workload median wall-per-iter
+/// drift beyond `opts.wall_threshold_pct`, differing thread run
+/// conditions, and workloads with no wall row in the candidate.
+pub fn compare_kernels(
+    baseline: &KernelsArtifact,
+    candidate: &KernelsArtifact,
+    opts: &CompareOptions,
+) -> CompareReport {
+    let mut report = CompareReport::default();
+    let reg = &mut report.regressions;
+    if baseline.schema_version != candidate.schema_version {
+        reg.push(format!(
+            "schema version {} vs {}",
+            baseline.schema_version, candidate.schema_version
+        ));
+    }
+    if baseline.experiment != candidate.experiment {
+        reg.push(format!("experiment '{}' vs '{}'", baseline.experiment, candidate.experiment));
+    }
+
+    let cand_rows: BTreeMap<&str, &KernelRow> =
+        candidate.workloads.iter().map(|w| (w.name.as_str(), w)).collect();
+    for base in &baseline.workloads {
+        match cand_rows.get(base.name.as_str()) {
+            None => reg.push(format!("workload '{}' missing from candidate", base.name)),
+            Some(cand) => {
+                if base.shape != cand.shape {
+                    reg.push(format!(
+                        "workload '{}': shape {:?} vs {:?}",
+                        base.name, base.shape, cand.shape
+                    ));
+                }
+                if base.group != cand.group {
+                    reg.push(format!(
+                        "workload '{}': group '{}' vs '{}'",
+                        base.name, base.group, cand.group
+                    ));
+                }
+                compare_counter(reg, &base.name, "forward passes", base.forward, cand.forward);
+                compare_counter(reg, &base.name, "backward passes", base.backward, cand.backward);
+                compare_counter(reg, &base.name, "flops", base.flops, cand.flops);
+                compare_counter(
+                    reg,
+                    &base.name,
+                    "attack steps",
+                    base.attack_steps,
+                    cand.attack_steps,
+                );
+                compare_counter(reg, &base.name, "bytes", base.bytes, cand.bytes);
+            }
+        }
+    }
+    for cand in &candidate.workloads {
+        if !baseline.workloads.iter().any(|w| w.name == cand.name) {
+            reg.push(format!("workload '{}' absent from baseline", cand.name));
+        }
+    }
+
+    if baseline.events != candidate.events {
+        reg.push(format!("trace event count {} vs {}", baseline.events, candidate.events));
+    }
+    if baseline.trace_digest != candidate.trace_digest {
+        reg.push(format!(
+            "trace logical digest {} vs {}",
+            baseline.trace_digest, candidate.trace_digest
+        ));
+    }
+
+    let (bm, cm) = (&baseline.meta, &candidate.meta);
+    if bm.threads != cm.threads || bm.threads_available != cm.threads_available {
+        report.warnings.push(format!(
+            "run conditions differ: threads {}/{} (baseline) vs {}/{} (candidate)",
+            bm.threads, bm.threads_available, cm.threads, cm.threads_available
+        ));
+    }
+    let cand_wall: BTreeMap<&str, &KernelWallRow> =
+        cm.wall.iter().map(|w| (w.name.as_str(), w)).collect();
+    for base in &bm.wall {
+        let Some(cand) = cand_wall.get(base.name.as_str()) else {
+            report
+                .warnings
+                .push(format!("workload '{}' has no wall measurements in candidate", base.name));
+            continue;
+        };
+        let (b, c) = (base.wall_per_iter_s.median_s, cand.wall_per_iter_s.median_s);
+        if b > 0.0 {
+            let drift_pct = (c - b).abs() / b * 100.0;
+            if drift_pct > opts.wall_threshold_pct {
+                report.warnings.push(format!(
+                    "workload '{}': median wall per iter {:.3e}s -> {:.3e}s ({}{:.0}%)",
+                    base.name,
+                    b,
+                    c,
+                    if c >= b { "+" } else { "-" },
+                    drift_pct
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> KernelsArtifact {
+        KernelsArtifact {
+            schema_version: KERNELS_SCHEMA_VERSION,
+            experiment: KERNELS_EXPERIMENT.to_string(),
+            workloads: vec![
+                KernelRow {
+                    name: "matmul/64x784x128".into(),
+                    group: "matmul".into(),
+                    shape: vec![64, 784, 128],
+                    forward: 0,
+                    backward: 0,
+                    flops: 64 * 784 * 128,
+                    attack_steps: 0,
+                    bytes: 4 * (64 * 784 + 784 * 128 + 64 * 128),
+                },
+                KernelRow {
+                    name: "attack/signed_step/16x784".into(),
+                    group: "attack".into(),
+                    shape: vec![16, 784],
+                    forward: 1,
+                    backward: 1,
+                    flops: 200_704,
+                    attack_steps: 1,
+                    bytes: 4 * 4 * 16 * 784,
+                },
+            ],
+            events: 4,
+            trace_digest: "00000000deadbeef".into(),
+            meta: KernelsMeta {
+                threads: 1,
+                threads_available: 1,
+                repeat: 3,
+                warmup: 2,
+                target_iter_wall_us: 20_000,
+                wall: vec![KernelWallRow {
+                    name: "matmul/64x784x128".into(),
+                    iters: 50,
+                    wall_per_iter_s: WallStats { median_s: 1e-4, min_s: 9e-5, max_s: 2e-4 },
+                    gflops: 64.0,
+                    gbytes_per_s: 10.0,
+                }],
+                note: KernelsArtifact::wall_note(),
+            },
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_pass_cleanly() {
+        let a = artifact();
+        let report = compare_kernels(&a, &a, &CompareOptions::default());
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn planted_flops_regression_fails_the_gate() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.workloads[0].flops += 1;
+        let report = compare_kernels(&base, &cand, &CompareOptions::default());
+        assert!(!report.passed());
+        assert!(report.regressions.iter().any(|r| r.contains("flops")), "{:?}", report.regressions);
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn shape_and_byte_changes_are_regressions() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.workloads[0].shape[0] = 65;
+        cand.workloads[1].bytes += 8;
+        let report = compare_kernels(&base, &cand, &CompareOptions::default());
+        assert!(report.regressions.iter().any(|r| r.contains("shape")));
+        assert!(report.regressions.iter().any(|r| r.contains("bytes")));
+    }
+
+    #[test]
+    fn missing_and_extra_workloads_fail() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.workloads[1].name = "attack/project_ball/16x784".into();
+        let report = compare_kernels(&base, &cand, &CompareOptions::default());
+        assert!(report.regressions.iter().any(|r| r.contains("missing from candidate")));
+        assert!(report.regressions.iter().any(|r| r.contains("absent from baseline")));
+    }
+
+    #[test]
+    fn wall_drift_and_thread_conditions_only_warn() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.meta.threads = 4;
+        cand.meta.wall[0].wall_per_iter_s.median_s *= 3.0;
+        let report = compare_kernels(&base, &cand, &CompareOptions::default());
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.warnings.iter().any(|w| w.contains("threads")), "{:?}", report.warnings);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("wall per iter")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn digest_and_event_count_changes_fail() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.events += 1;
+        cand.trace_digest = "ffffffffffffffff".into();
+        let report = compare_kernels(&base, &cand, &CompareOptions::default());
+        assert!(report.regressions.iter().any(|r| r.contains("event count")));
+        assert!(report.regressions.iter().any(|r| r.contains("digest")));
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let a = artifact();
+        let text = serde_json::to_string_pretty(&a).unwrap();
+        let back: KernelsArtifact = serde_json::from_str(&text).unwrap();
+        assert_eq!(a, back);
+    }
+}

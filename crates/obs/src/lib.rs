@@ -20,6 +20,13 @@
 //! * [`baseline`] — the `BENCH_<experiment>.json` artifact schema, its
 //!   construction helpers, and the logical-regression comparison the CI
 //!   perf gate runs against the committed baseline.
+//! * [`kernels`] — the `BENCH_kernels.json` kernel scoreboard: one
+//!   logical row per microbenchmark workload (shape + per-iteration
+//!   clock counters + logical bytes), wall statistics quarantined in
+//!   `meta`, and the comparison the `kernel-bench` CI job gates on.
+//! * [`artifact`] — [`ArtifactKind`] classification of `BENCH_*.json`
+//!   files by their `experiment` tag, so `bench compare` dispatches to
+//!   the right comparison and rejects mixed kinds with a typed error.
 //!
 //! The crate stays dependency-light by design (trace + the vendored
 //! serde shims only) and performs no I/O beyond what callers hand it:
@@ -30,14 +37,17 @@
 //! `std::time::Instant`/`SystemTime` use — analysis code may need raw
 //! timestamps, production code must go through the span clock.
 
+pub mod artifact;
 pub mod baseline;
 pub mod diff;
 pub mod error;
 pub mod flame;
+pub mod kernels;
 pub mod reader;
 pub mod serve;
 pub mod tree;
 
+pub use artifact::ArtifactKind;
 pub use baseline::{
     compare, logical_digest, BenchArtifact, BenchMeta, CompareOptions, CompareReport, ScaleInfo,
     TrainerCost, WallStats, BENCH_SCHEMA_VERSION,
@@ -45,6 +55,10 @@ pub use baseline::{
 pub use diff::{diff, DiffOptions, DiffReport};
 pub use error::ObsError;
 pub use flame::{collapse, parse_collapsed, prefix_totals, render_collapsed, FlameWeight};
+pub use kernels::{
+    compare_kernels, KernelRow, KernelWallRow, KernelsArtifact, KernelsMeta, KERNELS_EXPERIMENT,
+    KERNELS_SCHEMA_VERSION,
+};
 pub use reader::read_events;
 pub use serve::{
     compare_serve, ServeArtifact, ServeGenerationRow, ServeMeta, ServeScale, SERVE_EXPERIMENT,

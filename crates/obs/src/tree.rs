@@ -418,6 +418,43 @@ mod tests {
     }
 
     #[test]
+    fn single_span_trace_attributes_everything_to_itself() {
+        // The degenerate trace one `bench kernels` workload iteration
+        // produces: one root span, no children. Total must equal self
+        // on every axis, and attribution must carry the full cost.
+        let events = vec![open(0, "kernel/matmul"), close(1, "kernel/matmul", 42, 1, 105)];
+        let tree = build_tree(&events).expect("balanced");
+        assert_eq!(tree.roots.len(), 1);
+        let node = &tree.roots[0];
+        assert_eq!(node.name, "kernel/matmul");
+        assert!(node.children.is_empty());
+        assert_eq!(node.total, node.self_cost());
+        assert_eq!(node.total.wall_us, 42);
+        assert_eq!(node.total.forward, 1);
+        assert_eq!(node.total.flops, 105);
+
+        let attr = attribute(&tree);
+        assert_eq!(attr.len(), 1);
+        let stat = &attr["kernel/matmul"];
+        assert_eq!(stat.count, 1);
+        assert_eq!(stat.total, stat.self_cost);
+        assert_eq!(stat.total.flops, 105);
+    }
+
+    #[test]
+    fn single_span_with_zero_cost_close_stays_zeroed() {
+        // A span that closes without ticking any counter must not
+        // invent cost: self == total == zero, and hot_spots still
+        // lists it (rank order over one element is trivially stable).
+        let events = vec![open(0, "idle"), close(1, "idle", 0, 0, 0)];
+        let tree = build_tree(&events).expect("balanced");
+        assert_eq!(tree.roots[0].self_cost(), CostVector::default());
+        let top = hot_spots(&tree, TopBy::SelfFlops, 10);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].path, "idle");
+    }
+
+    #[test]
     fn mismatched_close_is_typed() {
         let events = vec![open(0, "a"), close(1, "b", 1, 0, 0)];
         match build_tree(&events) {

@@ -71,6 +71,21 @@ pub fn stats(addr: &str) -> Result<StatsSnapshot, ServeError> {
     }
 }
 
+/// Fetches the `/metrics` Prometheus text exposition.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connection failures or non-200 answers,
+/// [`ServeError::BadRequest`] on a non-UTF-8 body.
+pub fn metrics(addr: &str) -> Result<String, ServeError> {
+    let response = roundtrip(addr, "GET", "/metrics", "")?;
+    match response.status {
+        200 => String::from_utf8(response.body)
+            .map_err(|e| ServeError::BadRequest(format!("non-UTF-8 metrics body: {e}"))),
+        status => Err(status_error(status, &response)),
+    }
+}
+
 /// Triggers a checkpoint rescan via `/rescan`.
 ///
 /// # Errors

@@ -148,9 +148,26 @@ pub fn write_response<W: Write>(
     reason: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_with_type(writer, status, reason, "application/json", body)
+}
+
+/// Writes a complete HTTP response with an explicit content type. The
+/// `/metrics` exposition uses this with `text/plain; version=0.0.4`;
+/// every JSON route goes through [`write_response`].
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_with_type<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
         body.len()
     )?;
     writer.write_all(body)?;

@@ -14,12 +14,14 @@
 //! | `/predict`      | POST   | 200 [`PredictResponse`], 503 on backpressure |
 //! | `/healthz`      | GET    | 200 [`HealthBody`]                       |
 //! | `/stats`        | GET    | 200 [`crate::stats::StatsSnapshot`]      |
+//! | `/metrics`      | GET    | 200 Prometheus text exposition           |
 //! | `/rescan`       | POST   | 200 [`crate::batcher::SwapReport`]       |
 
 use crate::batcher::{BatchConfig, Engine, SwapReport};
 use crate::error::ServeError;
 use crate::protocol::{
-    read_request, write_response, ErrorBody, HealthBody, HttpRequest, PredictRequest, RejectBody,
+    read_request, write_response, write_response_with_type, ErrorBody, HealthBody, HttpRequest,
+    PredictRequest, RejectBody,
 };
 use crate::stats::StatsSnapshot;
 use std::io::BufReader;
@@ -245,6 +247,17 @@ fn respond(writer: &mut TcpStream, engine: &Arc<Engine>, request: &HttpRequest) 
             send_json(writer, 200, "OK", &body)
         }
         ("GET", "/stats") => send_json(writer, 200, "OK", &engine.stats()),
+        ("GET", "/metrics") => {
+            let text = engine.stats().to_prometheus();
+            write_response_with_type(
+                writer,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+            )
+            .is_ok()
+        }
         ("POST", "/rescan") => match engine.rescan() {
             Ok(report) => send_json(writer, 200, "OK", &report),
             Err(e) => send_error(writer, 500, "Internal Server Error", &e.to_string()),

@@ -227,6 +227,105 @@ pub struct StatsSnapshot {
     pub batch_occupancy: OccupancySummary,
 }
 
+impl StatsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4), served on `GET /metrics`.
+    ///
+    /// Counters mirror the JSON `/stats` fields one-to-one; the
+    /// per-(generation, traffic) cells become labeled series so a
+    /// scraper can graph clean-vs-adversarial accuracy across hot
+    /// swaps without parsing JSON. Latency quantiles are exported as a
+    /// pre-aggregated `summary` — they are wall-clock numbers and stay
+    /// out of the logical trace stream just like the JSON form.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("simpadv_serve_requests_total", "Requests answered.", self.served);
+        counter(
+            "simpadv_serve_rejected_total",
+            "Requests shed by queue backpressure.",
+            self.rejected,
+        );
+        counter(
+            "simpadv_serve_skipped_generations_total",
+            "Checkpoint generations skipped as unreadable.",
+            self.skipped_generations,
+        );
+        counter(
+            "simpadv_serve_swapped_generations_total",
+            "Successful checkpoint hot swaps.",
+            self.swapped_generations,
+        );
+
+        for (name, help, pick) in [
+            (
+                "simpadv_serve_generation_requests_total",
+                "Requests answered per (generation, traffic) cell.",
+                &(|g: &GenerationClassStats| g.requests) as &dyn Fn(&GenerationClassStats) -> u64,
+            ),
+            (
+                "simpadv_serve_generation_labeled_total",
+                "Labeled requests per (generation, traffic) cell.",
+                &|g: &GenerationClassStats| g.labeled,
+            ),
+            (
+                "simpadv_serve_generation_correct_total",
+                "Correctly predicted labeled requests per (generation, traffic) cell.",
+                &|g: &GenerationClassStats| g.correct,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for g in &self.generations {
+                let _ = writeln!(
+                    out,
+                    "{name}{{generation=\"{}\",traffic=\"{}\"}} {}",
+                    g.generation,
+                    g.traffic,
+                    pick(g)
+                );
+            }
+        }
+
+        let lat = &self.latency_us;
+        let _ = writeln!(
+            out,
+            "# HELP simpadv_serve_latency_us Request latency, microseconds (wall-clock)."
+        );
+        let _ = writeln!(out, "# TYPE simpadv_serve_latency_us summary");
+        for (q, v) in [("0.5", lat.p50_us), ("0.9", lat.p90_us), ("0.99", lat.p99_us)] {
+            let _ = writeln!(out, "simpadv_serve_latency_us{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "simpadv_serve_latency_us_count {}", lat.count);
+        let _ = writeln!(
+            out,
+            "# HELP simpadv_serve_latency_us_max Worst observed request latency, microseconds."
+        );
+        let _ = writeln!(out, "# TYPE simpadv_serve_latency_us_max gauge");
+        let _ = writeln!(out, "simpadv_serve_latency_us_max {}", lat.max_us);
+
+        let occ = &self.batch_occupancy;
+        let _ = writeln!(out, "# HELP simpadv_serve_batches_total Batches dispatched.");
+        let _ = writeln!(out, "# TYPE simpadv_serve_batches_total counter");
+        let _ = writeln!(out, "simpadv_serve_batches_total {}", occ.batches);
+        let _ = writeln!(
+            out,
+            "# HELP simpadv_serve_batch_occupancy_mean Mean requests per dispatched batch."
+        );
+        let _ = writeln!(out, "# TYPE simpadv_serve_batch_occupancy_mean gauge");
+        let _ = writeln!(out, "simpadv_serve_batch_occupancy_mean {}", occ.mean);
+        let _ = writeln!(out, "# HELP simpadv_serve_batch_occupancy_max Largest batch dispatched.");
+        let _ = writeln!(out, "# TYPE simpadv_serve_batch_occupancy_max gauge");
+        let _ = writeln!(out, "simpadv_serve_batch_occupancy_max {}", occ.max);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +366,49 @@ mod tests {
         let adv4 = &snap.generations[2];
         assert_eq!((adv4.generation, adv4.traffic.as_str()), (4, "adversarial"));
         assert_eq!((adv4.requests, adv4.labeled, adv4.correct), (1, 0, 0));
+    }
+
+    #[test]
+    fn prometheus_exposition_lists_every_series() {
+        let reg = StatsRegistry::new();
+        reg.record_request(3, false, Some(1), 1, 10);
+        reg.record_request(3, true, Some(2), 1, 30);
+        reg.record_batch(2);
+        reg.record_rejected();
+        reg.record_swapped_generation();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("simpadv_serve_requests_total 2"), "{text}");
+        assert!(text.contains("simpadv_serve_rejected_total 1"), "{text}");
+        assert!(text.contains("simpadv_serve_swapped_generations_total 1"), "{text}");
+        assert!(
+            text.contains(
+                "simpadv_serve_generation_requests_total{generation=\"3\",traffic=\"clean\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "simpadv_serve_generation_correct_total{generation=\"3\",traffic=\"adversarial\"} 0"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("simpadv_serve_latency_us{quantile=\"0.99\"} 30"), "{text}");
+        assert!(text.contains("simpadv_serve_latency_us_count 2"), "{text}");
+        assert!(text.contains("simpadv_serve_batches_total 1"), "{text}");
+        assert!(text.contains("simpadv_serve_batch_occupancy_mean 2"), "{text}");
+        // Every non-comment line is `name[{labels}] value` — the 0.0.4
+        // text format a scraper expects.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "malformed series line: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_exposition() {
+        let text = StatsRegistry::new().snapshot().to_prometheus();
+        assert!(text.contains("simpadv_serve_requests_total 0"), "{text}");
+        assert!(text.contains("# TYPE simpadv_serve_latency_us summary"), "{text}");
+        assert!(!text.contains("generation=\""), "no per-generation series yet: {text}");
     }
 
     #[test]

@@ -81,6 +81,19 @@ fn corrupted_generation_is_skipped_and_serving_continues() {
         }
     }
 
+    // The scrape endpoint mirrors the counters seen so far: the skip,
+    // the per-generation traffic split, and the summary quantiles.
+    let exposition = client::metrics(&addr).unwrap();
+    assert!(exposition.contains("simpadv_serve_skipped_generations_total 1"), "{exposition}");
+    assert!(exposition.contains("simpadv_serve_requests_total 8"), "{exposition}");
+    assert!(
+        exposition.contains(&format!(
+            "simpadv_serve_generation_requests_total{{generation=\"{g1}\",traffic=\"clean\"}}"
+        )),
+        "{exposition}"
+    );
+    assert!(exposition.contains("simpadv_serve_latency_us{quantile=\"0.99\"}"), "{exposition}");
+
     // A subsequent intact generation still swaps in.
     let g3 = publish(&publisher, 3);
     let report = client::rescan(&addr).unwrap();

@@ -110,6 +110,24 @@ impl Conv2dGeometry {
     pub fn out_w(&self) -> usize {
         (self.in_w + 2 * self.padding - self.k_w) / self.stride + 1
     }
+
+    /// Shape `[rows, cols]` of the patch-column matrix [`im2col`]
+    /// produces for an `n`-image, `channels`-channel batch. Shape
+    /// introspection for the kernel microbenchmark lab.
+    pub fn lowered_shape(&self, n: usize, channels: usize) -> (usize, usize) {
+        (n * self.out_h() * self.out_w(), channels * self.k_h * self.k_w)
+    }
+
+    /// Logical bytes one [`im2col`] lowering moves for an `n`-image,
+    /// `channels`-channel batch: the input read once, the patch-column
+    /// matrix written once, at 4 bytes per `f32`. The lowering is pure
+    /// data movement, so this — not a flop count — is the scoreboard's
+    /// throughput basis.
+    pub fn im2col_bytes(&self, n: usize, channels: usize) -> u64 {
+        let input = (n * channels * self.in_h * self.in_w) as u64;
+        let (rows, cols) = self.lowered_shape(n, channels);
+        4 * (input + (rows as u64) * (cols as u64))
+    }
 }
 
 /// Lowers a batched image tensor `[n, c, h, w]` into patch columns.
@@ -265,6 +283,18 @@ mod tests {
         assert_eq!((g.out_h(), g.out_w()), (24, 24));
         let g2 = Conv2dGeometry::new(28, 28, 2, 2, 2, 0);
         assert_eq!((g2.out_h(), g2.out_w()), (14, 14));
+    }
+
+    #[test]
+    fn lowered_shape_matches_im2col_output() {
+        let g = Conv2dGeometry::new(6, 6, 3, 3, 1, 1);
+        let input = Tensor::ones(&[2, 3, 6, 6]);
+        let cols = im2col(&input, 3, &g);
+        let (rows, width) = g.lowered_shape(2, 3);
+        assert_eq!(cols.shape(), &[rows, width]);
+        // bytes: the input read once + the lowering written once
+        let expected = 4 * (input.len() as u64 + (rows * width) as u64);
+        assert_eq!(g.im2col_bytes(2, 3), expected);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::TensorError;
+pub use linalg::{matmul_bytes, matmul_flops};
 pub use rng::{normal_f32, shuffled_indices, NormalSampler};
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;

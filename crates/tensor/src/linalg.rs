@@ -23,6 +23,21 @@ const PAR_WORK_THRESHOLD: usize = 1 << 21;
 /// determinism contract.
 const KERNEL_CHUNKS: usize = 16;
 
+/// Logical multiply-accumulate count of an `[m, k] x [k, n]` product —
+/// the exact amount every matmul variant ticks into the trace clock.
+/// Shape introspection for the kernel microbenchmark lab: the scoreboard
+/// derives GFLOP/s from this, never from a measured counter.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    (m as u64) * (k as u64) * (n as u64)
+}
+
+/// Logical bytes an `[m, k] x [k, n]` product moves: both operands read
+/// once, the output written once, at 4 bytes per `f32`. A lower bound
+/// (cache re-reads are not modeled), used for the scoreboard's bytes/s.
+pub fn matmul_bytes(m: usize, k: usize, n: usize) -> u64 {
+    4 * ((m as u64) * (k as u64) + (k as u64) * (n as u64) + (m as u64) * (n as u64))
+}
+
 /// The runtime and row-chunk size to use for an `m`-row product with
 /// `work = m * k * n`, or `None` to run serially.
 fn parallel_plan(m: usize, k: usize, n: usize) -> Option<(Runtime, usize)> {
@@ -146,7 +161,7 @@ impl Tensor {
                 op: "matmul",
             });
         }
-        simpadv_trace::clock::add_flops((m * k * n) as u64);
+        simpadv_trace::clock::add_flops(matmul_flops(m, k, n));
         let a = self.as_slice();
         let b = rhs.as_slice();
         if let Some((rt, chunk)) = parallel_plan(m, k, n) {
@@ -186,7 +201,7 @@ impl Tensor {
                 op: "matmul_tn",
             });
         }
-        simpadv_trace::clock::add_flops((m * k * n) as u64);
+        simpadv_trace::clock::add_flops(matmul_flops(m, k, n));
         let a = self.as_slice();
         let b = rhs.as_slice();
         // out[i][j] = sum_p a[p][i] * b[p][j]
@@ -227,7 +242,7 @@ impl Tensor {
                 op: "matmul_nt",
             });
         }
-        simpadv_trace::clock::add_flops((m * k * n) as u64);
+        simpadv_trace::clock::add_flops(matmul_flops(m, k, n));
         let a = self.as_slice();
         let b = rhs.as_slice();
         if let Some((rt, chunk)) = parallel_plan(m, k, n) {
@@ -373,5 +388,24 @@ mod tests {
         assert_eq!(t.norm_l2(), 5.0);
         assert_eq!(t.norm_linf(), 4.0);
         assert_eq!(Tensor::default().norm_linf(), 0.0);
+    }
+
+    #[test]
+    fn flop_formula_matches_the_clock_tick() {
+        use simpadv_trace::clock;
+        let a = Tensor::ones(&[3, 5]);
+        let b = Tensor::ones(&[5, 7]);
+        let before = clock::snapshot();
+        let _ = a.matmul(&b);
+        let delta = clock::snapshot().delta_since(&before);
+        assert_eq!(delta.flops, matmul_flops(3, 5, 7));
+        assert_eq!(matmul_flops(3, 5, 7), 105);
+    }
+
+    #[test]
+    fn byte_formula_counts_operands_and_output_once() {
+        // [2, 3] x [3, 4]: 6 + 12 + 8 floats at 4 bytes each
+        assert_eq!(matmul_bytes(2, 3, 4), 4 * 26);
+        assert_eq!(matmul_bytes(0, 3, 4), 4 * 12);
     }
 }
