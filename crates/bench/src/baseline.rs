@@ -114,6 +114,7 @@ pub fn run_with_baseline<T>(
     }
     let out = PathBuf::from(format!("BENCH_{experiment}.json"));
     simpadv_resilience::write_json_atomic(&out, &artifact)?;
+    let _: obs::BenchArtifact = crate::verify_artifact(&out)?;
     Ok((result, Some(out)))
 }
 

@@ -321,6 +321,10 @@ fn main() {
         eprintln!("cannot write {}: {e}", opts.out.display());
         std::process::exit(1);
     }
+    if let Err(e) = simpadv_bench::verify_artifact::<ServeArtifact>(&opts.out) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 
     println!(
         "serve bench: generation {generation}, {} served / {} rejected, \

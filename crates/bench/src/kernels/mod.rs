@@ -386,6 +386,7 @@ pub fn write_outputs(
     events: &[Event],
 ) -> Result<(), Box<dyn Error>> {
     simpadv_resilience::write_json_atomic(&opts.out, artifact)?;
+    let _: KernelsArtifact = crate::verify_artifact(&opts.out)?;
     if let Some(dir) = &opts.flame_dir {
         std::fs::create_dir_all(dir)?;
         let tree = simpadv_obs::build_tree(events)?;

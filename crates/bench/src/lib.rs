@@ -20,6 +20,27 @@ use simpadv_trace::TraceFormat;
 pub mod baseline;
 pub mod kernels;
 
+/// Reads a just-written `BENCH_*.json` back and type-checks it through
+/// `simpadv_obs::parse_artifact`, so a torn write (writer killed
+/// mid-write, disk full) surfaces at the writer as the typed
+/// `TruncatedArtifact` error — mirroring `simpadv_obs::read_events`'s
+/// torn-tail handling — instead of as a panic in a later `bench
+/// compare` against the committed baseline.
+///
+/// # Errors
+///
+/// The read-back I/O error, or the typed truncation/parse error from
+/// `parse_artifact`, each prefixed with the artifact path.
+pub fn verify_artifact<T: serde::Deserialize>(
+    path: &std::path::Path,
+) -> Result<T, Box<dyn std::error::Error>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read back {}: {e}", path.display()))?;
+    let artifact = simpadv_obs::parse_artifact(&text)
+        .map_err(|e| format!("artifact {} failed read-back validation: {e}", path.display()))?;
+    Ok(artifact)
+}
+
 /// The common CLI of the regeneration binaries: workload scale, thread
 /// override, trace destination, and crash-safe checkpointing.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,6 +241,25 @@ mod tests {
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn verify_artifact_reports_truncation_as_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("simpadv-bench-verify-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_torn.json");
+
+        // a strict prefix of a valid artifact: the mid-write kill signature
+        std::fs::write(&path, "{\"experiment\": \"kernels\", \"work").expect("plant torn file");
+        let err = verify_artifact::<serde::Value>(&path).unwrap_err().to_string();
+        assert!(err.contains("truncated artifact"), "{err}");
+        assert!(err.contains("BENCH_torn.json"), "names the file: {err}");
+
+        // an intact artifact reads back clean
+        std::fs::write(&path, "{\"experiment\": \"kernels\"}").expect("plant whole file");
+        let value: serde::Value = verify_artifact(&path).expect("intact artifact");
+        assert!(value.get("experiment").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -64,14 +64,18 @@ USAGE: simpadv-cli <command> [--option value ...]
 
 COMMANDS
   generate  --dataset mnist|fashion [--samples N] [--seed S] [--preview K]
-  train     --dataset mnist|fashion [--method M] [--epochs N] [--samples N]
-            [--seed S] [--out FILE] [--checkpoint-dir DIR]
-            [--checkpoint-every N] [--resume latest]
+  train     --dataset mnist|fashion [--method M] [--eps E] [--epochs N]
+            [--samples N] [--seed S] [--out FILE] [--checkpoint-dir DIR]
+            [--checkpoint-every N] [--resume latest] [--report FILE]
+            [--test-samples N]
             methods: vanilla fgsm atda proposed free bim10 bim30
             with --checkpoint-dir, a full training snapshot is written
             every N epochs (default 1); --resume latest continues from
             the newest valid snapshot, bitwise identical to an
-            uninterrupted run
+            uninterrupted run; --eps overrides the dataset's paper
+            epsilon; --report evaluates on a held-out set (--test-samples,
+            default 200) and writes a sealed cell report — the completion
+            contract sweep cells are judged by
   evaluate  --model FILE --dataset mnist|fashion [--samples N] [--seed S]
   attack    --model FILE --dataset mnist|fashion [--attack A] [--index I]
             attacks: noise fgsm llfgsm bim10 bim30 pgd10 mim10 fgml2 pgdl2
@@ -85,6 +89,27 @@ COMMANDS
             generations as they appear; --requests N exits after N
             answers (absent or 0: serve until killed), --addr-file
             writes the bound address (useful with an ephemeral port 0)
+  sweep     --dir DIR [--resume latest] [--dataset mnist|fashion]
+            [--methods M,..] [--eps E,..] [--samples-list N,..]
+            [--threads-list N,..] [--epochs N] [--seed S]
+            [--test-samples N] [--cell-deadline-us N] [--retry-base-us N]
+            [--retry-cap-us N] [--max-attempts N] [--retry-budget N]
+            [--out FILE] [--bin FILE] [--chaos-kill-cell-after-us N]
+            [--chaos-kill-cell-times N] [--chaos-child-failpoints SPEC]
+            run a campaign: the method x eps x samples x threads grid
+            expands into cells, each a supervised child `train` process
+            with its own checkpoint dir and wall deadline; crashed cells
+            retry with capped exponential backoff (seeded jitter),
+            resuming from their latest valid checkpoint, until the
+            per-cell attempt cap or campaign retry budget quarantines
+            them (non-fatal, but reflected in the exit code); campaign
+            state is a CRC-sealed generation-numbered manifest saved on
+            every transition, so after SIGKILL `sweep --dir D --resume
+            latest` continues exactly (grid flags are then ignored);
+            writes the BENCH_sweep.json aggregate (default --out), whose
+            logical rows are bitwise identical however often the
+            campaign was interrupted; chaos flags deliberately kill
+            cells or inject child failpoints to prove that
   trace summarize FILE
             fold a JSONL trace into per-span aggregate timings
   trace flame FILE [--weight wall|flops|work|attack-steps] [--out FILE]
@@ -99,9 +124,10 @@ COMMANDS
   bench compare BASELINE CANDIDATE [--wall-threshold PCT]
             [--accuracy-tolerance T]
             compare two BENCH_<experiment>.json artifacts (training
-            baseline, serve artifact, or kernel scoreboard — kinds are
-            auto-detected and must match); logical regressions exit
-            non-zero, wall drift warns (the CI perf gate)
+            baseline, serve artifact, kernel scoreboard, or sweep
+            aggregate — kinds are auto-detected and must match); logical
+            regressions exit non-zero, wall drift warns (the CI perf
+            gate); truncated artifacts get a typed error
   bench kernels [--scale smoke|quick|full] [--target-us N] [--repeat N]
             [--warmup N] [--out FILE] [--flame-dir DIR]
             run the kernel microbenchmark lab: every hot kernel at real
@@ -109,7 +135,7 @@ COMMANDS
             numbers land in meta (also: cargo run --release -p
             simpadv-bench --bin kernels)
   lint [--root DIR] [--rules SPEC]
-            run the workspace invariant wall (rules R1-R11 syntactic,
+            run the workspace invariant wall (rules R1-R12 syntactic,
             S1-S5 semantic; see `simpadv-lint --list`); any diagnostic
             is an error
   lint graph [--root DIR]
@@ -143,6 +169,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "evaluate" => cmd_evaluate(args, out),
         "attack" => cmd_attack(args, out),
         "serve" => cmd_serve(args, out),
+        "sweep" => cmd_sweep(args, out),
         "trace" => cmd_trace(args, out),
         "bench" => cmd_bench(args, out),
         "lint" => cmd_lint(args, out),
@@ -253,6 +280,7 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     args.expect_only(&[
         "dataset",
         "method",
+        "eps",
         "epochs",
         "samples",
         "seed",
@@ -261,12 +289,14 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "checkpoint-dir",
         "checkpoint-every",
         "resume",
+        "report",
+        "test-samples",
         "threads",
         "trace",
         "trace-format",
     ])?;
     let dataset = parse_dataset(args)?;
-    let eps = dataset.paper_epsilon();
+    let eps = parse_eps(args, dataset.paper_epsilon())?;
     let method = args.get_or("method", "proposed").to_string();
     let epochs = args.get_num("epochs", 40usize)?;
     let samples = args.get_num("samples", 1000usize)?;
@@ -293,7 +323,47 @@ fn cmd_train<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         saved.save_to(path)?;
         writeln!(out, "wrote {path}")?;
     }
+    if let Ok(path) = args.require("report") {
+        // The sealed cell report is the sweep orchestrator's completion
+        // contract: evaluation on a held-out set (disjoint seed), then
+        // one atomic, CRC-sealed write. Everything in it is logical, so
+        // a retried/resumed cell reproduces the file bit for bit.
+        let test_samples = args.get_num("test-samples", 200usize)?;
+        let test = dataset.generate(&SynthConfig::new(test_samples, seed + 1));
+        let eval = EvalSuite::paper(eps).run(&mut clf, &test);
+        let cell = simpadv_sweep::CellReport {
+            schema_version: simpadv_sweep::CELL_REPORT_VERSION,
+            dataset: dataset.id().to_string(),
+            method_id: method.clone(),
+            eps,
+            epochs: epochs as u64,
+            samples: samples as u64,
+            test_samples: test_samples as u64,
+            seed,
+            final_loss: report.final_loss(),
+            columns: eval.columns.clone(),
+            accuracies: eval.accuracies.clone(),
+        };
+        cell.save(std::path::Path::new(path)).map_err(|e| CliError(e.to_string()))?;
+        writeln!(out, "wrote {path}")?;
+    }
     Ok(())
+}
+
+/// Parses the optional `--eps` override; absent, the dataset's paper
+/// epsilon applies.
+fn parse_eps(args: &Args, default: f32) -> Result<f32, CliError> {
+    match args.require("eps") {
+        Err(_) => Ok(default),
+        Ok(v) => {
+            let eps: f32 =
+                v.parse().map_err(|_| CliError(format!("option --eps: cannot parse '{v}'")))?;
+            if !eps.is_finite() || eps < 0.0 {
+                return Err(CliError(format!("option --eps: {eps} must be finite and >= 0")));
+            }
+            Ok(eps)
+        }
+    }
 }
 
 /// Builds the train command's [`CheckpointSession`] from
@@ -431,6 +501,111 @@ fn cmd_serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         stats.served, stats.rejected, stats.swapped_generations
     )?;
     Ok(())
+}
+
+/// `sweep` — the crash-resilient campaign orchestrator
+/// (`crates/sweep`): expands a declarative grid into supervised `train`
+/// child processes with retry/backoff, quarantine, and a sealed
+/// resumable manifest, then writes the `BENCH_sweep.json` aggregate.
+fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&[
+        "dir",
+        "resume",
+        "dataset",
+        "methods",
+        "eps",
+        "samples-list",
+        "threads-list",
+        "epochs",
+        "seed",
+        "test-samples",
+        "cell-deadline-us",
+        "retry-base-us",
+        "retry-cap-us",
+        "max-attempts",
+        "retry-budget",
+        "out",
+        "bin",
+        "chaos-kill-cell-after-us",
+        "chaos-kill-cell-times",
+        "chaos-child-failpoints",
+        "threads",
+        "trace",
+        "trace-format",
+    ])?;
+    let dir = std::path::PathBuf::from(args.require("dir")?);
+    let resume = match args.require("resume") {
+        Ok("latest") => true,
+        Ok(other) => {
+            return Err(CliError(format!("unknown --resume mode '{other}' (expected: latest)")))
+        }
+        Err(_) => false,
+    };
+    let mut campaign = if resume {
+        // Grid and retry policy come from the manifest; grid flags on a
+        // resume invocation are ignored by design.
+        simpadv_sweep::Campaign::resume(&dir).map_err(|e| CliError(e.to_string()))?
+    } else {
+        let dataset = args.get_or("dataset", "mnist").to_string();
+        let default_eps = match dataset.as_str() {
+            "fashion" => SynthDataset::Fashion.paper_epsilon(),
+            _ => SynthDataset::Mnist.paper_epsilon(),
+        };
+        let epsilons = match args.require("eps") {
+            Ok(list) => simpadv_sweep::grid::parse_f32_list(list).map_err(CliError)?,
+            Err(_) => vec![default_eps],
+        };
+        let defaults = simpadv_sweep::RetryConfig::default();
+        let config = simpadv_sweep::CampaignConfig {
+            schema_version: simpadv_sweep::MANIFEST_VERSION,
+            grid: simpadv_sweep::GridSpec {
+                dataset,
+                epochs: args.get_num("epochs", 4u64)?,
+                seed: args.get_num("seed", 2019u64)?,
+                test_samples: args.get_num("test-samples", 100u64)?,
+                methods: simpadv_sweep::grid::parse_method_list(
+                    args.get_or("methods", "vanilla,proposed"),
+                )
+                .map_err(CliError)?,
+                epsilons,
+                samples: simpadv_sweep::grid::parse_u64_list(args.get_or("samples-list", "200"))
+                    .map_err(CliError)?,
+                threads: simpadv_sweep::grid::parse_u64_list(args.get_or("threads-list", "1"))
+                    .map_err(CliError)?,
+            },
+            retry: simpadv_sweep::RetryConfig {
+                base_us: args.get_num("retry-base-us", defaults.base_us)?,
+                cap_us: args.get_num("retry-cap-us", defaults.cap_us)?,
+                max_attempts: args.get_num("max-attempts", defaults.max_attempts)?,
+                budget: args.get_num("retry-budget", defaults.budget)?,
+            },
+            cell_deadline_us: args.get_num("cell-deadline-us", 600_000_000u64)?,
+        };
+        simpadv_sweep::Campaign::start(&dir, config).map_err(|e| CliError(e.to_string()))?
+    };
+
+    let program = match args.require("bin") {
+        Ok(path) => std::path::PathBuf::from(path),
+        Err(_) => std::env::current_exe()
+            .map_err(|e| CliError(format!("cannot locate own executable for cells: {e}")))?,
+    };
+    let command = simpadv_sweep::ChildCommand { program, prefix_args: Vec::new() };
+    let kill_after_us = args.get_num("chaos-kill-cell-after-us", 0u64)?;
+    let chaos = simpadv_sweep::ChaosConfig {
+        kill_cell_after_us: (kill_after_us > 0).then_some(kill_after_us),
+        kill_cell_times: args.get_num("chaos-kill-cell-times", 1u32)?,
+        child_failpoints: args.require("chaos-child-failpoints").ok().map(str::to_string),
+    };
+    let out_path = std::path::PathBuf::from(args.get_or("out", "BENCH_sweep.json"));
+    let artifact =
+        campaign.run(&command, chaos, &out_path, out).map_err(|e| CliError(e.to_string()))?;
+    if artifact.quarantined.is_empty() {
+        Ok(())
+    } else {
+        // Quarantine is not fatal to the campaign, but the exit code
+        // must reflect that the aggregate is incomplete.
+        Err(CliError(format!("sweep: {} cell(s) quarantined", artifact.quarantined.len())))
+    }
 }
 
 /// Reads and strictly parses a JSONL trace, mapping I/O and schema
@@ -571,8 +746,11 @@ fn cmd_bench_compare<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError>
             .map_err(|e| CliError(format!("cannot read artifact {path}: {e}")))
     };
     let (base_text, cand_text) = (read_text(base_path)?, read_text(cand_path)?);
+    // Every parse goes through `parse_artifact` so a file torn by a
+    // writer killed mid-write surfaces as the typed truncation error
+    // rather than a bare syntax failure (or worse, a panic).
     let kind = |text: &str, path: &str| -> Result<simpadv_obs::ArtifactKind, CliError> {
-        let value: serde::Value = serde_json::from_str(text)
+        let value: serde::Value = simpadv_obs::parse_artifact(text)
             .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))?;
         let tag = match value.get("experiment") {
             Some(serde::Value::String(s)) => s.as_str(),
@@ -598,14 +776,14 @@ fn cmd_bench_compare<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError>
     let report = match base_kind {
         simpadv_obs::ArtifactKind::Serve => {
             let read = |text: &str, path: &str| -> Result<simpadv_obs::ServeArtifact, CliError> {
-                serde_json::from_str(text)
+                simpadv_obs::parse_artifact(text)
                     .map_err(|e| CliError(format!("invalid serve artifact {path}: {e}")))
             };
             simpadv_obs::compare_serve(&read(&base_text, base_path)?, &read(&cand_text, cand_path)?)
         }
         simpadv_obs::ArtifactKind::Kernels => {
             let read = |text: &str, path: &str| -> Result<simpadv_obs::KernelsArtifact, CliError> {
-                serde_json::from_str(text)
+                simpadv_obs::parse_artifact(text)
                     .map_err(|e| CliError(format!("invalid kernel scoreboard {path}: {e}")))
             };
             simpadv_obs::compare_kernels(
@@ -614,9 +792,16 @@ fn cmd_bench_compare<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError>
                 &opts,
             )
         }
+        simpadv_obs::ArtifactKind::Sweep => {
+            let read = |text: &str, path: &str| -> Result<simpadv_obs::SweepArtifact, CliError> {
+                simpadv_obs::parse_artifact(text)
+                    .map_err(|e| CliError(format!("invalid sweep aggregate {path}: {e}")))
+            };
+            simpadv_obs::compare_sweep(&read(&base_text, base_path)?, &read(&cand_text, cand_path)?)
+        }
         simpadv_obs::ArtifactKind::Training => {
             let read = |text: &str, path: &str| -> Result<simpadv_obs::BenchArtifact, CliError> {
-                serde_json::from_str(text)
+                simpadv_obs::parse_artifact(text)
                     .map_err(|e| CliError(format!("invalid bench artifact {path}: {e}")))
             };
             simpadv_obs::compare(
@@ -1220,6 +1405,171 @@ mod tests {
         assert!(run_line("bench kernels --scale bogus").is_err());
         assert!(run_line("bench kernels extra").is_err());
         assert!(run_line("bench kernels --trace t.jsonl").is_err());
+    }
+
+    #[test]
+    fn sweep_grid_methods_match_parse_method() {
+        // The sweep grid validates methods against KNOWN_METHODS and
+        // then hands them to this CLI's `train` verb; the two lists
+        // drifting apart would quarantine every cell of a campaign.
+        for name in simpadv_sweep::KNOWN_METHODS {
+            assert!(parse_method(name, 0.3).is_ok(), "sweep method '{name}' must train");
+        }
+        assert!(parse_method("magic", 0.3).is_err());
+    }
+
+    #[test]
+    fn train_report_writes_a_sealed_cell_report() {
+        let dir = std::env::temp_dir().join("simpadv-cli-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("report.json");
+
+        let text = run_line(&format!(
+            "train --dataset mnist --method vanilla --eps 0.25 --epochs 1 --samples 32 \
+             --test-samples 16 --report {}",
+            report.display()
+        ))
+        .unwrap();
+        assert!(text.contains("wrote"), "{text}");
+        let cell = simpadv_sweep::CellReport::load(&report).unwrap();
+        assert_eq!(cell.schema_version, simpadv_sweep::CELL_REPORT_VERSION);
+        assert_eq!(cell.method_id, "vanilla");
+        assert_eq!(cell.eps, 0.25);
+        assert_eq!(cell.test_samples, 16);
+        assert_eq!(cell.columns[0], "original");
+        assert_eq!(cell.columns.len(), cell.accuracies.len());
+        assert!(cell.final_loss.is_finite());
+    }
+
+    #[test]
+    fn train_eps_override_is_validated() {
+        assert!(run_line("train --dataset mnist --epochs 1 --samples 16 --eps nope")
+            .unwrap_err()
+            .to_string()
+            .contains("--eps"));
+        assert!(run_line("train --dataset mnist --epochs 1 --samples 16 --eps -0.1")
+            .unwrap_err()
+            .to_string()
+            .contains("--eps"));
+    }
+
+    #[test]
+    fn sweep_flags_are_validated_before_any_child_spawns() {
+        // missing campaign dir
+        assert!(run_line("sweep").unwrap_err().to_string().contains("dir"));
+        let dir = std::env::temp_dir().join("simpadv-cli-sweep-flags");
+        let _ = std::fs::remove_dir_all(&dir);
+        // bad resume mode
+        let err =
+            run_line(&format!("sweep --dir {} --resume everything", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("unknown --resume mode"), "{err}");
+        // unknown method fails before a manifest is written
+        let err = run_line(&format!("sweep --dir {} --methods magic", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // resuming a dir with no campaign is a typed error
+        let err = run_line(&format!("sweep --dir {} --resume latest", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("no valid campaign manifest"), "{err}");
+        assert!(USAGE.contains("sweep"));
+    }
+
+    #[test]
+    fn sweep_start_refuses_to_clobber_an_existing_campaign() {
+        let dir = std::env::temp_dir().join("simpadv-cli-sweep-clobber");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = simpadv_sweep::CampaignConfig {
+            schema_version: simpadv_sweep::MANIFEST_VERSION,
+            grid: simpadv_sweep::GridSpec {
+                dataset: "mnist".into(),
+                epochs: 1,
+                seed: 2019,
+                test_samples: 16,
+                methods: vec!["vanilla".into()],
+                epsilons: vec![0.3],
+                samples: vec![16],
+                threads: vec![1],
+            },
+            retry: simpadv_sweep::RetryConfig::default(),
+            cell_deadline_us: 60_000_000,
+        };
+        simpadv_sweep::Campaign::start(&dir, config).unwrap();
+        let err = run_line(&format!("sweep --dir {}", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
+    }
+
+    fn tiny_sweep_artifact() -> simpadv_obs::SweepArtifact {
+        simpadv_obs::SweepArtifact {
+            schema_version: simpadv_obs::SWEEP_SCHEMA_VERSION,
+            experiment: simpadv_obs::SWEEP_EXPERIMENT.to_string(),
+            scale: simpadv_obs::SweepScale {
+                dataset: "mnist".into(),
+                epochs: 1,
+                seed: 2019,
+                test_samples: 16,
+                methods: vec!["vanilla".into()],
+                epsilons: vec![0.3],
+                samples: vec![16],
+                threads: vec![1],
+            },
+            completed: 1,
+            cells: vec![simpadv_obs::SweepCellRow {
+                id: "c000-vanilla-e300m-s16-t1".into(),
+                method: "vanilla".into(),
+                eps: 0.3,
+                samples: 16,
+                threads: 1,
+                final_loss: 1.25,
+                columns: vec!["original".into()],
+                accuracies: vec![0.875],
+            }],
+            quarantined: Vec::new(),
+            meta: simpadv_obs::SweepMeta {
+                wall_total_s: 1.0,
+                attempts_total: 1,
+                retries_spent: 0,
+                note: simpadv_obs::SweepArtifact::wall_note(),
+            },
+        }
+    }
+
+    #[test]
+    fn bench_compare_dispatches_on_sweep_aggregates() {
+        let artifact = tiny_sweep_artifact();
+        let base = write_temp("sweep-base.json", &serde_json::to_string(&artifact).unwrap());
+        assert!(run_line(&format!("bench compare {base} {base}")).is_ok());
+
+        // a planted logical accuracy regression fails the gate
+        let mut planted = artifact.clone();
+        planted.cells[0].accuracies[0] = 0.5;
+        let cand = write_temp("sweep-cand.json", &serde_json::to_string(&planted).unwrap());
+        let err = run_line(&format!("bench compare {base} {cand}")).unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+
+        // mixing with a kernel scoreboard names both kinds
+        let kpath = write_temp(
+            "sweep-mixed.json",
+            &serde_json::to_string(&tiny_kernels_artifact()).unwrap(),
+        );
+        let err = run_line(&format!("bench compare {base} {kpath}")).unwrap_err().to_string();
+        assert!(err.contains("sweep aggregate") && err.contains("kernel scoreboard"), "{err}");
+    }
+
+    #[test]
+    fn bench_compare_reports_truncated_artifacts_as_typed_errors() {
+        let full = serde_json::to_string(&tiny_sweep_artifact()).unwrap();
+        let whole = write_temp("trunc-whole.json", &full);
+        // a strict prefix — the signature of a writer killed mid-write
+        let torn = write_temp("trunc-torn.json", &full[..full.len() / 2]);
+        for order in
+            [format!("bench compare {torn} {whole}"), format!("bench compare {whole} {torn}")]
+        {
+            let err = run_line(&order).unwrap_err().to_string();
+            assert!(err.contains("truncated artifact"), "{order}: {err}");
+            assert!(err.contains("killed mid-write"), "{order}: {err}");
+        }
+        let empty = write_temp("trunc-empty.json", "");
+        let err = run_line(&format!("bench compare {empty} {whole}")).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //!
 //! The analyzer parses every `.rs` file in the workspace with a
 //! self-contained lexer (no external parser dependency — the build
-//! environment is offline) and enforces sixteen invariants the stack's
-//! correctness rests on: eleven file-local syntactic rules (R1–R11) and
+//! environment is offline) and enforces seventeen invariants the stack's
+//! correctness rests on: twelve file-local syntactic rules (R1–R12) and
 //! five workspace-wide semantic rules (S1–S5) that reason over a symbol
 //! table, call graph and taint lattice. See [`rules::RULES`] for the
 //! catalogue and `DESIGN.md` for the rationale behind each. Diagnostics
@@ -85,6 +85,7 @@ fn classify(path: &str) -> (String, FileKind) {
                 "lint" => "simpadv-lint",
                 "bench" => "simpadv-bench",
                 "serve" => "simpadv-serve",
+                "sweep" => "simpadv-sweep",
                 other => other,
             };
             (pkg.to_string(), &parts[2..])
@@ -111,7 +112,7 @@ pub struct Workspace {
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Rule id (`R1`..`R10`, `S1`..`S5`).
+    /// Rule id (`R1`..`R12`, `S1`..`S5`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -298,6 +299,10 @@ mod tests {
         assert_eq!(
             classify("crates/serve/src/server.rs"),
             ("simpadv-serve".to_string(), FileKind::Src)
+        );
+        assert_eq!(
+            classify("crates/sweep/src/supervise.rs"),
+            ("simpadv-sweep".to_string(), FileKind::Src)
         );
         assert_eq!(classify("src/lib.rs"), ("simpadv-suite".to_string(), FileKind::Src));
         assert_eq!(classify("tests/end_to_end.rs"), ("simpadv-suite".to_string(), FileKind::Test));

@@ -203,7 +203,7 @@ fn main() -> ExitCode {
         for d in &diags {
             print!("{}", d.render());
         }
-        let scope = args.rules.as_deref().unwrap_or("R1-R11,S1-S5");
+        let scope = args.rules.as_deref().unwrap_or("R1-R12,S1-S5");
         eprintln!(
             "simpadv-lint: {} file(s) analyzed, {} diagnostic(s) [{}]",
             ws.files.len(),

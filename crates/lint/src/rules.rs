@@ -1,4 +1,4 @@
-//! The rule registry: eleven syntactic invariants (R1–R11) and five
+//! The rule registry: twelve syntactic invariants (R1–R12) and five
 //! semantic ones (S1–S5).
 //!
 //! Each R-rule is a pure function from a [`Workspace`] to diagnostics —
@@ -38,7 +38,7 @@ pub enum Check {
 
 /// A rule's identity and entry point.
 pub struct Rule {
-    /// Stable id (`R1`..`R10`, `S1`..`S5`), referenced from `lint.toml`.
+    /// Stable id (`R1`..`R12`, `S1`..`S5`), referenced from `lint.toml`.
     pub id: &'static str,
     /// One-line summary shown by `--list`.
     pub summary: &'static str,
@@ -112,6 +112,13 @@ pub const RULES: &[Rule] = &[
         summary: "std::net is permitted only in crates/serve; other crates reach the \
                   server through simpadv_serve::client",
         check: Check::Syntactic(rule_r11_net_containment),
+    },
+    Rule {
+        id: "R12",
+        summary: "std::process (Command/Child/Stdio/exit) is permitted only in \
+                  crates/sweep and crates/cli; other crates return typed errors \
+                  instead of spawning or exiting",
+        check: Check::Syntactic(rule_r12_process_containment),
     },
     Rule {
         id: "S1",
@@ -602,6 +609,51 @@ fn rule_r11_net_containment(ws: &Workspace) -> Vec<Diagnostic> {
     out
 }
 
+/// R12: `std::process` is confined to the sweep orchestrator and the CLI.
+///
+/// Spawning children and exiting the process are supervision concerns:
+/// `crates/sweep` owns child lifecycle (spawn, deadline kill, exit-status
+/// triage) and `crates/cli` owns the process boundary (its `main` maps a
+/// typed error to an exit code). Anywhere else, `Command`/`Child`/`Stdio`
+/// or a `process::exit` bypasses the supervision protocol — a library
+/// crate that exits can never be retried, and a child spawned outside
+/// the orchestrator escapes the manifest's crash accounting. Identifier
+/// matching is unconditional for the spawn types (they have no other
+/// meaning in this workspace); `exit` is only flagged when
+/// path-qualified with `process::`, so `process::id()` in test helpers
+/// and unrelated `exit` identifiers stay clean.
+fn rule_r12_process_containment(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.crate_name == "simpadv-sweep" || file.crate_name == "simpadv-cli" {
+            continue;
+        }
+        let p = &file.parsed;
+        for i in 0..p.tokens.len() {
+            let spawn_type = matches!(p.ident(i), Some("Command" | "Child" | "Stdio"));
+            let process_exit = p.ident(i) == Some("exit")
+                && i >= 3
+                && p.ident(i - 3) == Some("process")
+                && p.is_punct(i - 2, ':')
+                && p.is_punct(i - 1, ':');
+            if spawn_type || process_exit {
+                out.push(diag(
+                    "R12",
+                    file,
+                    p.line(i),
+                    p.ident(i).unwrap_or("process"),
+                    "`std::process` outside crates/sweep and crates/cli; child \
+                     lifecycle belongs to the sweep supervisor and exit codes to \
+                     the CLI boundary — return a typed error and let the caller \
+                     decide the process's fate"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Crates whose `src/` may print to stdout/stderr directly (R8): the
 /// user-facing CLI, the lint tool itself, and the bench/regeneration
 /// binaries.
@@ -775,7 +827,7 @@ mod tests {
         assert_eq!(expand_spec("R8-R10,S2").unwrap(), vec!["R8", "R9", "R10", "S2"]);
         // Duplicates collapse.
         assert_eq!(expand_spec("R1,R1-R2").unwrap(), vec!["R1", "R2"]);
-        assert!(expand_spec("R12").is_err());
+        assert!(expand_spec("R13").is_err());
         assert!(expand_spec("R1-S2").is_err());
         assert!(expand_spec("S5-S1").is_err());
         assert!(expand_spec("").is_err());
@@ -1156,6 +1208,43 @@ pub fn try_reshape(&self, s: &[usize]) -> Result<T, E> { inner(s) }
             ("crates/data/src/lib.rs", "// TcpStream\nfn f() -> &'static str { \"std::net\" }"),
         ];
         assert!(run("R11", &files).is_empty());
+    }
+
+    // ---- R12 ----
+
+    #[test]
+    fn r12_fires_on_process_use_outside_sweep_and_cli() {
+        let files = [
+            (
+                "crates/bench/src/bin/custom.rs",
+                "fn main() { let _ = std::process::Command::new(\"ls\").status(); }",
+            ),
+            (
+                "crates/serve/src/server.rs",
+                "use std::process::exit;\nfn f() { std::process::exit(2); }",
+            ),
+            // tests are NOT exempt: a test that spawns escapes supervision too
+            ("crates/obs/tests/poke.rs", "fn t(c: std::process::Child) { drop(c); }"),
+        ];
+        let d = run("R12", &files);
+        assert!(d.len() >= 3, "each process use flagged: {d:?}");
+        assert!(d[0].message.contains("sweep supervisor"));
+    }
+
+    #[test]
+    fn r12_allows_the_orchestrator_the_cli_and_inert_text() {
+        let files = [
+            (
+                "crates/sweep/src/supervise.rs",
+                "use std::process::{Child, Command, Stdio};\nfn f(c: &mut Child) {}",
+            ),
+            ("crates/cli/src/main.rs", "fn main() { std::process::exit(1); }"),
+            // `process::id()` in temp-dir helpers is not a spawn or an exit
+            ("crates/data/src/lib.rs", "fn tag() -> u32 { std::process::id() }"),
+            // comments and strings never tokenize into idents
+            ("crates/nn/src/lib.rs", "// Command\nfn f() -> &'static str { \"std::process\" }"),
+        ];
+        assert!(run("R12", &files).is_empty());
     }
 
     #[test]

@@ -1,18 +1,22 @@
 //! Artifact-kind dispatch for `bench compare`.
 //!
-//! Three artifact families share the `BENCH_*.json` naming convention
+//! Four artifact families share the `BENCH_*.json` naming convention
 //! and a common `experiment` tag: training baselines
 //! ([`crate::baseline::BenchArtifact`], tagged with the experiment
 //! name), the serving artifact ([`crate::serve::ServeArtifact`], tagged
-//! [`crate::serve::SERVE_EXPERIMENT`]), and the kernel scoreboard
+//! [`crate::serve::SERVE_EXPERIMENT`]), the kernel scoreboard
 //! ([`crate::kernels::KernelsArtifact`], tagged
-//! [`crate::kernels::KERNELS_EXPERIMENT`]). `bench compare` classifies
+//! [`crate::kernels::KERNELS_EXPERIMENT`]), and the campaign aggregate
+//! ([`crate::sweep::SweepArtifact`], tagged
+//! [`crate::sweep::SWEEP_EXPERIMENT`]). `bench compare` classifies
 //! both files through [`ArtifactKind::from_experiment`] before picking
 //! a comparison, so mixing kinds is a typed error naming both sides
 //! rather than a spurious schema mismatch.
 
+use crate::error::ObsError;
 use crate::kernels::KERNELS_EXPERIMENT;
 use crate::serve::SERVE_EXPERIMENT;
+use crate::sweep::SWEEP_EXPERIMENT;
 
 /// Which comparison a `BENCH_*.json` file dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +27,8 @@ pub enum ArtifactKind {
     Serve,
     /// The kernel scoreboard (`experiment: "kernels"`).
     Kernels,
+    /// The campaign-sweep aggregate (`experiment: "sweep"`).
+    Sweep,
 }
 
 impl ArtifactKind {
@@ -32,6 +38,7 @@ impl ArtifactKind {
         match tag {
             t if t == SERVE_EXPERIMENT => ArtifactKind::Serve,
             t if t == KERNELS_EXPERIMENT => ArtifactKind::Kernels,
+            t if t == SWEEP_EXPERIMENT => ArtifactKind::Sweep,
             _ => ArtifactKind::Training,
         }
     }
@@ -42,8 +49,78 @@ impl ArtifactKind {
             ArtifactKind::Training => "training baseline",
             ArtifactKind::Serve => "serve artifact",
             ArtifactKind::Kernels => "kernel scoreboard",
+            ArtifactKind::Sweep => "sweep aggregate",
         }
     }
+}
+
+/// Parses a `BENCH_*.json` artifact with truncation-aware errors — the
+/// artifact-file sibling of [`crate::read_events`]'s torn-tail handling.
+///
+/// A text that is a strict *prefix* of valid JSON (structure still open
+/// at end of input, or the file is empty) is the signature of a writer
+/// killed between write and rename, and maps to
+/// [`ObsError::TruncatedArtifact`]; any other failure is
+/// [`ObsError::Parse`] at the line where parsing stopped making sense.
+///
+/// # Errors
+///
+/// [`ObsError::TruncatedArtifact`] or [`ObsError::Parse`] as above.
+pub fn parse_artifact<T: serde::Deserialize>(text: &str) -> Result<T, ObsError> {
+    match serde_json::from_str(text) {
+        Ok(value) => Ok(value),
+        Err(e) => {
+            if looks_truncated(text) {
+                Err(ObsError::TruncatedArtifact { message: e.to_string() })
+            } else {
+                Err(ObsError::Parse {
+                    line: line_of_failure(text, &e.to_string()),
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+}
+
+/// Whether `text` could be the prefix of a valid JSON document: input
+/// ran out with a string or bracket structure still open, or before any
+/// value at all. A mismatched closer or trailing garbage means corrupt,
+/// not truncated.
+fn looks_truncated(text: &str) -> bool {
+    let mut stack: Vec<u8> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for &b in text.as_bytes() {
+        if in_string {
+            match (escaped, b) {
+                (true, _) => escaped = false,
+                (false, b'\\') => escaped = true,
+                (false, b'"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => stack.push(b),
+            // the guard pops unconditionally: a matching closer falls
+            // through to the no-op arm with its bracket consumed
+            b'}' if stack.pop() != Some(b'{') => return false,
+            b']' if stack.pop() != Some(b'[') => return false,
+            _ => {}
+        }
+    }
+    in_string || !stack.is_empty() || text.trim().is_empty()
+}
+
+/// Best-effort line number for a parse failure: the shim reports `at
+/// byte N`, which this converts to a 1-based line.
+fn line_of_failure(text: &str, message: &str) -> usize {
+    let byte = message
+        .rsplit_once("at byte ")
+        .and_then(|(_, n)| n.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    1 + text.as_bytes().iter().take(byte).filter(|b| **b == b'\n').count()
 }
 
 #[cfg(test)]
@@ -54,12 +131,49 @@ mod tests {
     fn reserved_tags_map_to_their_families() {
         assert_eq!(ArtifactKind::from_experiment("serve"), ArtifactKind::Serve);
         assert_eq!(ArtifactKind::from_experiment("kernels"), ArtifactKind::Kernels);
+        assert_eq!(ArtifactKind::from_experiment("sweep"), ArtifactKind::Sweep);
     }
 
     #[test]
     fn everything_else_is_a_training_experiment() {
-        for tag in ["table1", "fig1", "fig2", "ablation", "serve2", ""] {
+        for tag in ["table1", "fig1", "fig2", "ablation", "serve2", "sweeper", ""] {
             assert_eq!(ArtifactKind::from_experiment(tag), ArtifactKind::Training, "{tag}");
+        }
+    }
+
+    #[test]
+    fn truncated_artifacts_get_the_typed_error() {
+        let full = r#"{
+  "experiment": "sweep",
+  "completed": 3,
+  "cells": ["a", "b"]
+}"#;
+        let parsed: serde::Value = parse_artifact(full).unwrap();
+        assert!(matches!(parsed.get("completed"), Some(serde::Value::U64(3))));
+
+        // Every strict prefix that dies mid-structure is truncation,
+        // not corruption (mirrors a writer killed mid-write).
+        for cut in [full.len() - 2, full.len() / 2, 10, 1] {
+            let err = parse_artifact::<serde::Value>(&full[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ObsError::TruncatedArtifact { .. }),
+                "prefix of {cut} bytes: {err}"
+            );
+        }
+        let err = parse_artifact::<serde::Value>("").unwrap_err();
+        assert!(matches!(err, ObsError::TruncatedArtifact { .. }));
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_parse_errors_with_a_line() {
+        // Balanced but invalid: a mismatched closer.
+        let err = parse_artifact::<serde::Value>("{\"a\": ]}").unwrap_err();
+        assert!(matches!(err, ObsError::Parse { .. }), "{err}");
+        // Trailing garbage after a complete value.
+        let err = parse_artifact::<serde::Value>("{}\ngarbage").unwrap_err();
+        match err {
+            ObsError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Parse, got {other}"),
         }
     }
 
@@ -69,7 +183,8 @@ mod tests {
             ArtifactKind::Training.label(),
             ArtifactKind::Serve.label(),
             ArtifactKind::Kernels.label(),
+            ArtifactKind::Sweep.label(),
         ];
-        assert_eq!(labels.iter().collect::<std::collections::BTreeSet<_>>().len(), 3);
+        assert_eq!(labels.iter().collect::<std::collections::BTreeSet<_>>().len(), 4);
     }
 }

@@ -43,6 +43,13 @@ pub enum ObsError {
         /// Paths of the spans still open, outermost first.
         open: Vec<String>,
     },
+    /// A `BENCH_*.json` artifact file ends mid-value — the signature of
+    /// a writer killed between write and rename. The JSON-artifact
+    /// sibling of [`ObsError::TruncatedTail`].
+    TruncatedArtifact {
+        /// The underlying parse failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for ObsError {
@@ -75,6 +82,11 @@ impl fmt::Display for ObsError {
                     open.join(", ")
                 )
             }
+            ObsError::TruncatedArtifact { message } => write!(
+                f,
+                "truncated artifact: file ends mid-value ({message}); the writer was \
+                 likely killed mid-write — regenerate the artifact"
+            ),
         }
     }
 }
@@ -97,5 +109,8 @@ mod tests {
         assert!(ObsError::EmptyTrace.to_string().contains("empty"));
         let e = ObsError::UnclosedSpans { open: vec!["train".into()] };
         assert!(e.to_string().contains("still open"));
+        let e = ObsError::TruncatedArtifact { message: "unexpected end of input".into() };
+        assert!(e.to_string().contains("truncated artifact"));
+        assert!(e.to_string().contains("killed mid-write"));
     }
 }

@@ -24,6 +24,11 @@
 //!   logical row per microbenchmark workload (shape + per-iteration
 //!   clock counters + logical bytes), wall statistics quarantined in
 //!   `meta`, and the comparison the `kernel-bench` CI job gates on.
+//! * [`sweep`] — the `BENCH_sweep.json` campaign aggregate: one logical
+//!   row per completed grid cell plus the explicit quarantine list, with
+//!   retry effort and wall time quarantined in `meta`; a resumed or
+//!   chaos-interrupted campaign must reproduce the logical sections
+//!   bitwise.
 //! * [`artifact`] — [`ArtifactKind`] classification of `BENCH_*.json`
 //!   files by their `experiment` tag, so `bench compare` dispatches to
 //!   the right comparison and rejects mixed kinds with a typed error.
@@ -45,9 +50,10 @@ pub mod flame;
 pub mod kernels;
 pub mod reader;
 pub mod serve;
+pub mod sweep;
 pub mod tree;
 
-pub use artifact::ArtifactKind;
+pub use artifact::{parse_artifact, ArtifactKind};
 pub use baseline::{
     compare, logical_digest, BenchArtifact, BenchMeta, CompareOptions, CompareReport, ScaleInfo,
     TrainerCost, WallStats, BENCH_SCHEMA_VERSION,
@@ -63,6 +69,10 @@ pub use reader::read_events;
 pub use serve::{
     compare_serve, ServeArtifact, ServeGenerationRow, ServeMeta, ServeScale, SERVE_EXPERIMENT,
     SERVE_SCHEMA_VERSION,
+};
+pub use sweep::{
+    compare_sweep, QuarantineRow, SweepArtifact, SweepCellRow, SweepMeta, SweepScale,
+    SWEEP_EXPERIMENT, SWEEP_SCHEMA_VERSION,
 };
 pub use tree::{
     attribute, build_tree, hot_spots, render_top, CostVector, HotSpot, PathStat, SpanNode,

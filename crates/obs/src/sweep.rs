@@ -1,0 +1,338 @@
+//! `BENCH_sweep.json`: the campaign-sweep benchmark artifact.
+//!
+//! Same philosophy as the training and serving baselines: the top-level
+//! sections are LOGICAL — each completed cell's row is a pure function
+//! of (dataset, method, epsilon, samples, seed), so a campaign that was
+//! SIGKILLed and resumed, or whose cells were retried after injected
+//! crashes, must produce rows bitwise identical to an uninterrupted
+//! run's. How *hard* the campaign had to work to get there (attempts,
+//! retries, wall time) is quarantined in `meta`, where [`compare_sweep`]
+//! only warns. Quarantined cells are first-class results: their ids are
+//! logical (a cell that gave up is a different outcome), while their
+//! free-text causes may vary with timing and therefore only warn.
+
+use crate::baseline::{CompareReport, WALL_NOTE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema version for [`SweepArtifact`]; bump on breaking change.
+pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+
+/// The experiment tag distinguishing sweep aggregates when
+/// `bench compare` dispatches on file contents.
+pub const SWEEP_EXPERIMENT: &str = "sweep";
+
+/// Campaign shape: fully determined by the grid spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepScale {
+    /// Dataset every cell trained on.
+    pub dataset: String,
+    /// Epochs per cell.
+    pub epochs: u64,
+    /// Shared campaign seed.
+    pub seed: u64,
+    /// Held-out evaluation size per cell.
+    pub test_samples: u64,
+    /// Trainer axis.
+    pub methods: Vec<String>,
+    /// Epsilon axis.
+    pub epsilons: Vec<f64>,
+    /// Training-set-size axis.
+    pub samples: Vec<u64>,
+    /// Thread-count axis.
+    pub threads: Vec<u64>,
+}
+
+/// One completed cell's results (logical).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCellRow {
+    /// Stable cell id from grid expansion.
+    pub id: String,
+    /// Trainer name.
+    pub method: String,
+    /// Perturbation budget.
+    pub eps: f64,
+    /// Training samples.
+    pub samples: u64,
+    /// Worker threads the cell ran with (results are thread-invariant;
+    /// the axis is recorded so the artifact proves it).
+    pub threads: u64,
+    /// Final training loss.
+    pub final_loss: f64,
+    /// Evaluation column names (clean + per-attack).
+    pub columns: Vec<String>,
+    /// Accuracies aligned with `columns`.
+    pub accuracies: Vec<f64>,
+}
+
+/// One quarantined cell: id is logical, cause is advisory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineRow {
+    /// Stable cell id from grid expansion.
+    pub id: String,
+    /// Failure cause of the last attempt (may be timing-dependent).
+    pub cause: String,
+}
+
+/// Wall-clock / effort section: machine-dependent, compare warns only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepMeta {
+    /// Total wall time of the campaign, seconds (this process only; a
+    /// resumed campaign reports the resuming process's wall).
+    pub wall_total_s: f64,
+    /// Child attempts spawned across all cells.
+    pub attempts_total: u64,
+    /// Retries drawn from the campaign-wide budget.
+    pub retries_spent: u64,
+    /// Standing note about wall-number portability.
+    pub note: String,
+}
+
+/// The campaign aggregate written by `sweep`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepArtifact {
+    /// Always [`SWEEP_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// Always [`SWEEP_EXPERIMENT`].
+    pub experiment: String,
+    /// Campaign shape (logical).
+    pub scale: SweepScale,
+    /// Cells that completed with a valid report (logical).
+    pub completed: u64,
+    /// Per-cell results, in grid-expansion order (logical).
+    pub cells: Vec<SweepCellRow>,
+    /// Cells that exhausted their retry allowance (ids logical).
+    pub quarantined: Vec<QuarantineRow>,
+    /// Machine-dependent effort numbers, quarantined.
+    pub meta: SweepMeta,
+}
+
+impl SweepArtifact {
+    /// The standing wall-number caveat, for the `meta.note` field.
+    pub fn wall_note() -> String {
+        WALL_NOTE.to_string()
+    }
+}
+
+/// Compares two sweep aggregates: logical sections must match exactly;
+/// retry effort and quarantine causes only warn.
+///
+/// Fails on: schema/experiment/scale mismatch, completed count, any
+/// per-cell row differing or missing, quarantined id sets differing.
+/// Warns on: quarantine causes differing for the same id, candidate
+/// retries being nonzero (the environment made the campaign work for
+/// its result).
+pub fn compare_sweep(baseline: &SweepArtifact, candidate: &SweepArtifact) -> CompareReport {
+    let mut report = CompareReport::default();
+    let reg = &mut report.regressions;
+    if baseline.schema_version != candidate.schema_version {
+        reg.push(format!(
+            "schema version {} vs {}",
+            baseline.schema_version, candidate.schema_version
+        ));
+    }
+    if baseline.experiment != candidate.experiment {
+        reg.push(format!("experiment '{}' vs '{}'", baseline.experiment, candidate.experiment));
+    }
+    if baseline.scale != candidate.scale {
+        reg.push(format!("scale {:?} vs {:?}", baseline.scale, candidate.scale));
+    }
+    if baseline.completed != candidate.completed {
+        reg.push(format!("completed cells {} vs {}", baseline.completed, candidate.completed));
+    }
+
+    let cand_rows: BTreeMap<&str, &SweepCellRow> =
+        candidate.cells.iter().map(|r| (r.id.as_str(), r)).collect();
+    for base in &baseline.cells {
+        match cand_rows.get(base.id.as_str()) {
+            None => reg.push(format!("cell {} missing from candidate", base.id)),
+            Some(cand) => {
+                if **cand != *base {
+                    reg.push(format!(
+                        "cell {}: loss {} vs {}, accuracies {:?} vs {:?}",
+                        base.id, base.final_loss, cand.final_loss, base.accuracies, cand.accuracies
+                    ));
+                }
+            }
+        }
+    }
+    for cand in &candidate.cells {
+        if !baseline.cells.iter().any(|b| b.id == cand.id) {
+            reg.push(format!("cell {} absent from baseline", cand.id));
+        }
+    }
+
+    let cand_quarantine: BTreeMap<&str, &str> =
+        candidate.quarantined.iter().map(|q| (q.id.as_str(), q.cause.as_str())).collect();
+    for base in &baseline.quarantined {
+        match cand_quarantine.get(base.id.as_str()) {
+            None => reg.push(format!("quarantined cell {} not quarantined in candidate", base.id)),
+            Some(cause) if *cause != base.cause => report.warnings.push(format!(
+                "quarantined cell {}: cause '{}' vs '{}' (causes are timing-dependent)",
+                base.id, base.cause, cause
+            )),
+            Some(_) => {}
+        }
+    }
+    for cand in &candidate.quarantined {
+        if !baseline.quarantined.iter().any(|b| b.id == cand.id) {
+            reg.push(format!("cell {} quarantined only in candidate ({})", cand.id, cand.cause));
+        }
+    }
+
+    if candidate.meta.retries_spent > 0 {
+        report.warnings.push(format!(
+            "candidate spent {} retries over {} attempts; results are identical by \
+             construction, but the environment was unstable",
+            candidate.meta.retries_spent, candidate.meta.attempts_total
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> SweepArtifact {
+        SweepArtifact {
+            schema_version: SWEEP_SCHEMA_VERSION,
+            experiment: SWEEP_EXPERIMENT.to_string(),
+            scale: SweepScale {
+                dataset: "mnist".to_string(),
+                epochs: 2,
+                seed: 2019,
+                test_samples: 40,
+                methods: vec!["vanilla".to_string(), "proposed".to_string()],
+                epsilons: vec![0.3],
+                samples: vec![32],
+                threads: vec![1, 2],
+            },
+            completed: 3,
+            cells: vec![
+                SweepCellRow {
+                    id: "c000-vanilla-e300m-s32-t1".to_string(),
+                    method: "vanilla".to_string(),
+                    eps: 0.3,
+                    samples: 32,
+                    threads: 1,
+                    final_loss: 1.5,
+                    columns: vec!["clean".to_string(), "fgsm".to_string()],
+                    accuracies: vec![0.9, 0.4],
+                },
+                SweepCellRow {
+                    id: "c001-vanilla-e300m-s32-t2".to_string(),
+                    method: "vanilla".to_string(),
+                    eps: 0.3,
+                    samples: 32,
+                    threads: 2,
+                    final_loss: 1.5,
+                    columns: vec!["clean".to_string(), "fgsm".to_string()],
+                    accuracies: vec![0.9, 0.4],
+                },
+                SweepCellRow {
+                    id: "c002-proposed-e300m-s32-t1".to_string(),
+                    method: "proposed".to_string(),
+                    eps: 0.3,
+                    samples: 32,
+                    threads: 1,
+                    final_loss: 1.1,
+                    columns: vec!["clean".to_string(), "fgsm".to_string()],
+                    accuracies: vec![0.88, 0.7],
+                },
+            ],
+            quarantined: vec![QuarantineRow {
+                id: "c003-proposed-e300m-s32-t2".to_string(),
+                cause: "exited with code 3".to_string(),
+            }],
+            meta: SweepMeta {
+                wall_total_s: 4.2,
+                attempts_total: 7,
+                retries_spent: 0,
+                note: SweepArtifact::wall_note(),
+            },
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_pass_cleanly() {
+        let a = artifact();
+        let report = compare_sweep(&a, &a);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn cell_result_drift_is_a_regression() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.cells[2].accuracies[1] = 0.2;
+        let report = compare_sweep(&base, &cand);
+        assert!(!report.passed());
+        assert!(
+            report.regressions.iter().any(|r| r.contains("c002-proposed")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_cells_are_regressions() {
+        let base = artifact();
+        let mut cand = artifact();
+        let moved = cand.cells.remove(1);
+        let report = compare_sweep(&base, &cand);
+        assert!(report.regressions.iter().any(|r| r.contains("missing from candidate")));
+        let mut cand = artifact();
+        let mut extra = moved;
+        extra.id = "c009-free-e300m-s32-t1".to_string();
+        cand.cells.push(extra);
+        let report = compare_sweep(&base, &cand);
+        assert!(report.regressions.iter().any(|r| r.contains("absent from baseline")));
+    }
+
+    #[test]
+    fn quarantine_set_is_logical_but_causes_only_warn() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.quarantined[0].cause = "killed by signal".to_string();
+        let report = compare_sweep(&base, &cand);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.warnings.iter().any(|w| w.contains("timing-dependent")));
+
+        let mut cand = artifact();
+        cand.quarantined.clear();
+        let report = compare_sweep(&base, &cand);
+        assert!(!report.passed());
+        assert!(report.regressions.iter().any(|r| r.contains("not quarantined in candidate")));
+
+        let mut cand = artifact();
+        cand.quarantined.push(QuarantineRow {
+            id: "c001-vanilla-e300m-s32-t2".to_string(),
+            cause: "cell wall deadline exceeded".to_string(),
+        });
+        let report = compare_sweep(&base, &cand);
+        assert!(!report.passed());
+        assert!(report.regressions.iter().any(|r| r.contains("only in candidate")));
+    }
+
+    #[test]
+    fn retry_effort_only_warns() {
+        let base = artifact();
+        let mut cand = artifact();
+        cand.meta.retries_spent = 3;
+        cand.meta.attempts_total = 10;
+        cand.meta.wall_total_s = 99.0;
+        let report = compare_sweep(&base, &cand);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert!(report.warnings.iter().any(|w| w.contains("3 retries")), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let a = artifact();
+        let text = serde_json::to_string_pretty(&a).unwrap();
+        let back: SweepArtifact = serde_json::from_str(&text).unwrap();
+        assert_eq!(a, back);
+    }
+}

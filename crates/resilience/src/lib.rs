@@ -15,7 +15,10 @@
 //! * [`CheckpointStore`] — generation-numbered directory with retention
 //!   and automatic fallback to the newest generation that validates;
 //! * [`failpoint`] — `SIMPADV_FAILPOINTS`-driven fault injection at the
-//!   named IO sites, so every crash window is testable.
+//!   named IO sites, so every crash window is testable;
+//! * [`backoff`] — the shared capped-exponential retry schedule with
+//!   seeded-deterministic jitter used by every retry loop (the sweep
+//!   orchestrator's cell supervision, the serve client's 503 handling).
 //!
 //! Every other crate funnels its file creation through here (lint rule
 //! R9 enforces this), which is what makes the crash-safety guarantee a
@@ -36,6 +39,7 @@
 //! ```
 
 mod atomic;
+pub mod backoff;
 mod checksum;
 mod envelope;
 mod error;
@@ -43,6 +47,7 @@ pub mod failpoint;
 mod store;
 
 pub use atomic::{atomic_write, atomic_write_with_retry};
+pub use backoff::BackoffPolicy;
 pub use checksum::crc32;
 pub use envelope::{seal, unseal, MAGIC, VERSION};
 pub use error::PersistError;

@@ -1,0 +1,105 @@
+//! Property tests for the retry backoff schedule
+//! (`simpadv_resilience::backoff`): the contract every supervisor retry
+//! loop leans on is that the delay sequence is (1) monotone
+//! non-decreasing, (2) capped, (3) budget-bounded in total, and (4)
+//! bitwise reproducible from the campaign seed alone.
+
+use proptest::prelude::*;
+use simpadv_resilience::backoff::{derive_seed, BackoffPolicy};
+
+/// Draws a structurally valid policy from three free parameters.
+fn policy(base_us: u64, cap_extra_us: u64, jitter_permille: u64) -> BackoffPolicy {
+    BackoffPolicy::new(base_us, base_us.saturating_add(cap_extra_us))
+        .with_jitter_permille(jitter_permille)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn delays_are_monotone_non_decreasing(
+        base in 1u64..1_000_000,
+        cap_extra in 0u64..100_000_000,
+        jitter in 0u64..=1000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let schedule = policy(base, cap_extra, jitter).schedule_us(seed, 40);
+        for (i, w) in schedule.windows(2).enumerate() {
+            prop_assert!(
+                w[1] >= w[0],
+                "retry {} delay {} < retry {} delay {}", i + 1, w[1], i, w[0]
+            );
+        }
+    }
+
+    #[test]
+    fn delays_never_exceed_the_cap_and_never_undershoot_the_base(
+        base in 1u64..1_000_000,
+        cap_extra in 0u64..100_000_000,
+        jitter in 0u64..=1000,
+        seed in 0u64..u64::MAX,
+        retry in 0u32..200,
+    ) {
+        let p = policy(base, cap_extra, jitter);
+        let d = p.delay_us(seed, retry);
+        prop_assert!(d <= p.cap_us, "delay {d} above cap {}", p.cap_us);
+        prop_assert!(d >= p.base_us.min(p.cap_us), "delay {d} below base {}", p.base_us);
+    }
+
+    #[test]
+    fn total_delay_respects_a_retry_budget(
+        base in 1u64..1_000_000,
+        cap_extra in 0u64..10_000_000,
+        jitter in 0u64..=1000,
+        seed in 0u64..u64::MAX,
+        budget in 0u32..64,
+    ) {
+        let p = policy(base, cap_extra, jitter);
+        let total = p.total_delay_us(seed, budget);
+        prop_assert!(
+            total <= u64::from(budget).saturating_mul(p.cap_us),
+            "budget of {budget} retries slept {total}us, above {budget} * cap"
+        );
+        let by_hand: u64 = p.schedule_us(seed, budget).iter().sum();
+        prop_assert_eq!(total, by_hand, "total must telescope over the schedule");
+    }
+
+    #[test]
+    fn schedule_is_bitwise_reproducible_from_the_seed(
+        base in 1u64..1_000_000,
+        cap_extra in 0u64..100_000_000,
+        jitter in 0u64..=1000,
+        campaign_seed in 0u64..u64::MAX,
+        cell in 0u64..10_000,
+    ) {
+        let p = policy(base, cap_extra, jitter);
+        let seed = derive_seed(campaign_seed, cell);
+        // A resumed orchestrator reconstructs the policy and seed from the
+        // manifest; its schedule must be the killed one's, bit for bit.
+        prop_assert_eq!(p.schedule_us(seed, 32), p.schedule_us(derive_seed(campaign_seed, cell), 32));
+        // Retry n's delay is a pure function of (policy, seed, n): asking
+        // for a longer schedule never rewrites the prefix.
+        let short = p.schedule_us(seed, 8);
+        let long = p.schedule_us(seed, 32);
+        prop_assert_eq!(&long[..8], &short[..]);
+    }
+
+    #[test]
+    fn jittered_delay_stays_inside_the_declared_stretch(
+        base in 1u64..1_000_000,
+        jitter in 0u64..=1000,
+        seed in 0u64..u64::MAX,
+        retry in 0u32..20,
+    ) {
+        // Uncapped policy: the jitter envelope is visible directly.
+        let p = BackoffPolicy::new(base, u64::MAX).with_jitter_permille(jitter);
+        let raw = base << retry;
+        let d = p.delay_us(seed, retry);
+        prop_assert!(d >= raw, "jitter may only stretch, never shrink");
+        // Permille arithmetic rounds down, so the bound is exact.
+        prop_assert!(
+            d <= raw + raw / 1000 * jitter + raw % 1000,
+            "delay {d} above raw {raw} + {jitter} permille"
+        );
+    }
+}

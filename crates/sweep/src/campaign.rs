@@ -1,0 +1,369 @@
+//! The campaign driver: expand, supervise, retry, quarantine, aggregate.
+//!
+//! ## Retry state machine
+//!
+//! ```text
+//!   Pending --spawn (attempts += 1, save)--> Running
+//!   Running --exit 0 + valid report (save)--> Done
+//!   Running --crash/kill/deadline (save)--> Pending'   (retry path)
+//!   Pending' --attempts or budget exhausted (save)--> Quarantined
+//!   Pending' --backoff sleep, then spawn--> Running
+//! ```
+//!
+//! Every arrow that changes the manifest saves a new sealed generation
+//! *before* the driver acts on it, so an orchestrator SIGKILL between
+//! any two arrows is recoverable: `--resume` reloads the newest valid
+//! generation and re-enters the machine at the same cell. The one
+//! ambiguous state is `Running`-on-load — the driver died with a child
+//! in flight. The attempt was charged at spawn time, and the child's
+//! work is not lost (it checkpoints every epoch and the next attempt
+//! resumes from its latest valid generation), so resume simply folds
+//! `Running` back to the retry path.
+//!
+//! ## Why the aggregate is bitwise reproducible
+//!
+//! Cell training is bitwise deterministic given (dataset, method, eps,
+//! samples, seed) — that is the workspace's core determinism contract —
+//! and checkpoint resume restores the accumulated report state, so a
+//! cell that crashed at any point and re-ran produces the identical
+//! sealed report. The aggregate's logical sections are a pure function
+//! of those reports in grid order; attempts, retries and wall time are
+//! quarantined in `meta`.
+
+use crate::backoff_for;
+use crate::chaos::{ChaosConfig, ChaosState};
+use crate::error::SweepError;
+use crate::manifest::{CampaignConfig, CampaignManifest, CellStatus, ManifestStore};
+use crate::report::CellReport;
+use crate::supervise::{run_cell, CellOutcome, ChildCommand, Supervision};
+use simpadv_obs::sweep::{
+    QuarantineRow, SweepArtifact, SweepCellRow, SweepMeta, SweepScale, SWEEP_EXPERIMENT,
+    SWEEP_SCHEMA_VERSION,
+};
+use simpadv_resilience::backoff::derive_seed;
+use simpadv_trace::clock::WallTimer;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A campaign bound to its durable home directory.
+pub struct Campaign {
+    dir: PathBuf,
+    store: ManifestStore,
+    manifest: CampaignManifest,
+}
+
+/// Where a cell's durable files live: `<dir>/cells/<id>/`.
+fn cell_dir(campaign_dir: &Path, cell_id: &str) -> PathBuf {
+    campaign_dir.join("cells").join(cell_id)
+}
+
+impl Campaign {
+    /// Creates a fresh campaign: validates the config, writes manifest
+    /// generation 1, and refuses to clobber an existing campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Config`] when `dir` already holds a valid manifest
+    /// (resume instead) or the config is invalid; persistence errors
+    /// otherwise.
+    pub fn start(dir: &Path, config: CampaignConfig) -> Result<Campaign, SweepError> {
+        let store = ManifestStore::open(dir)?;
+        if store.load_latest()?.is_some() {
+            return Err(SweepError::Config(format!(
+                "{} already holds a campaign; rerun with --resume to continue it",
+                dir.display()
+            )));
+        }
+        let manifest = CampaignManifest::new(config)?;
+        store.save(&manifest)?;
+        Ok(Campaign { dir: dir.to_path_buf(), store, manifest })
+    }
+
+    /// Reopens a campaign from its newest valid manifest generation.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::NothingToResume`] when no valid generation exists.
+    pub fn resume(dir: &Path) -> Result<Campaign, SweepError> {
+        let store = ManifestStore::open(dir)?;
+        let Some((_, manifest)) = store.load_latest()? else {
+            return Err(SweepError::NothingToResume(dir.display().to_string()));
+        };
+        Ok(Campaign { dir: dir.to_path_buf(), store, manifest })
+    }
+
+    /// Read access to the current manifest (tests, status display).
+    pub fn manifest(&self) -> &CampaignManifest {
+        &self.manifest
+    }
+
+    /// Drives every cell to a terminal status, then writes the
+    /// aggregate to `out`. Returns the final artifact.
+    ///
+    /// `command` launches cell children; `progress` receives one line
+    /// per transition (the CLI passes stderr; tests pass a sink).
+    ///
+    /// # Errors
+    ///
+    /// Persistence and spawn failures abort the run (safely: the
+    /// manifest reflects the last completed transition). Cell failures
+    /// never do.
+    pub fn run(
+        &mut self,
+        command: &ChildCommand,
+        chaos: ChaosConfig,
+        out: &Path,
+        progress: &mut dyn Write,
+    ) -> Result<SweepArtifact, SweepError> {
+        let _campaign_span = simpadv_trace::span!(
+            "sweep",
+            cells = self.manifest.cells.len() as u64,
+            budget = u64::from(self.manifest.config.retry.budget)
+        );
+        let wall = WallTimer::start();
+        let mut chaos = ChaosState::new(chaos);
+
+        // Running-on-load = the previous orchestrator died mid-cell.
+        // The attempt was charged at spawn; fold back into the retry
+        // path and let the quarantine gate below arbitrate.
+        let mut interrupted = 0u32;
+        for cell in &mut self.manifest.cells {
+            if cell.status == CellStatus::Running {
+                cell.status = CellStatus::Pending;
+                cell.last_error
+                    .get_or_insert_with(|| "orchestrator died while cell was running".to_string());
+                interrupted += 1;
+            }
+        }
+        if interrupted > 0 {
+            self.store.save(&self.manifest)?;
+            let _ = writeln!(progress, "resume: folded {interrupted} in-flight cell(s) back");
+        }
+
+        while let Some(i) = self.manifest.cells.iter().position(|c| c.status == CellStatus::Pending)
+        {
+            self.drive_cell(i, command, &mut chaos, progress)?;
+        }
+
+        let artifact = self.aggregate(wall.elapsed_seconds())?;
+        simpadv_resilience::write_json_atomic(out, &artifact)?;
+        let _ = writeln!(
+            progress,
+            "campaign done: {} completed, {} quarantined -> {}",
+            artifact.completed,
+            artifact.quarantined.len(),
+            out.display()
+        );
+        Ok(artifact)
+    }
+
+    /// Runs one cell to a terminal status through the retry machine.
+    fn drive_cell(
+        &mut self,
+        i: usize,
+        command: &ChildCommand,
+        chaos: &mut ChaosState,
+        progress: &mut dyn Write,
+    ) -> Result<(), SweepError> {
+        let (cell_id, cell_index) =
+            (self.manifest.cells[i].spec.id.clone(), self.manifest.cells[i].spec.index);
+        let _cell_span = simpadv_trace::span!("sweep/cell", index = cell_index);
+        let retry = self.manifest.config.retry.clone();
+        let policy = backoff_for(&retry);
+        let backoff_seed = derive_seed(self.manifest.config.grid.seed, cell_index);
+
+        loop {
+            let attempts = self.manifest.cells[i].attempts;
+            // Quarantine gate: per-cell attempt cap, then the shared
+            // campaign budget (first attempts are free; only re-attempts
+            // draw from it).
+            if attempts >= retry.max_attempts {
+                return self.quarantine(i, "attempt cap reached", progress);
+            }
+            if attempts > 0 {
+                if self.manifest.retries_spent >= retry.budget {
+                    return self.quarantine(i, "campaign retry budget exhausted", progress);
+                }
+                self.manifest.retries_spent += 1;
+                simpadv_trace::counter("sweep/retries", 1);
+                let delay_us = policy.delay_us(backoff_seed, attempts - 1);
+                let _ = writeln!(
+                    progress,
+                    "cell {cell_id}: retry {attempts} after {delay_us}us backoff"
+                );
+                crate::supervise::sleep_us(delay_us);
+            }
+
+            // Transition: -> Running. Saved BEFORE the spawn so a crash
+            // during the child leaves the attempt visibly charged.
+            self.manifest.cells[i].status = CellStatus::Running;
+            self.manifest.cells[i].attempts += 1;
+            self.store.save(&self.manifest)?;
+            simpadv_trace::counter("sweep/spawns", 1);
+
+            let attempt = self.manifest.cells[i].attempts;
+            let _attempt_span = simpadv_trace::span!("sweep/attempt", n = u64::from(attempt));
+            let outcome = {
+                let spec = &self.manifest.cells[i].spec;
+                let dir = cell_dir(&self.dir, &spec.id);
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| SweepError::Supervise(format!("create {}: {e}", dir.display())))?;
+                let supervision = Supervision {
+                    deadline_us: self.manifest.config.cell_deadline_us,
+                    kill_after_us: chaos.next_kill_after_us(),
+                    child_failpoints: chaos.child_failpoints().map(str::to_string),
+                };
+                run_cell(command, &self.cell_args(i), &supervision)?
+            };
+
+            let report_path = cell_dir(&self.dir, &cell_id).join("report.json");
+            // Exit 0 alone is not completion: the report must exist and
+            // validate (CRC + schema). A child killed between its last
+            // checkpoint and the report rename exits 0-less anyway, but
+            // a torn/damaged report with a clean exit is still a retry.
+            let failure = match outcome {
+                CellOutcome::Completed => match CellReport::load(&report_path) {
+                    Ok(_) => None,
+                    Err(e) => Some(format!("exit 0 but report invalid: {e}")),
+                },
+                other => Some(other.describe()),
+            };
+
+            match failure {
+                None => {
+                    self.manifest.cells[i].status = CellStatus::Done;
+                    self.manifest.cells[i].last_error = None;
+                    self.store.save(&self.manifest)?;
+                    simpadv_trace::counter("sweep/completed", 1);
+                    let _ = writeln!(progress, "cell {cell_id}: done (attempt {attempt})");
+                    return Ok(());
+                }
+                Some(cause) => {
+                    self.manifest.cells[i].status = CellStatus::Pending;
+                    self.manifest.cells[i].last_error = Some(cause.clone());
+                    self.store.save(&self.manifest)?;
+                    let _ = writeln!(progress, "cell {cell_id}: attempt {attempt} failed: {cause}");
+                }
+            }
+        }
+    }
+
+    /// Transition: -> Quarantined. Never fatal to the campaign.
+    fn quarantine(
+        &mut self,
+        i: usize,
+        gate: &str,
+        progress: &mut dyn Write,
+    ) -> Result<(), SweepError> {
+        let cause = match &self.manifest.cells[i].last_error {
+            Some(e) => format!("{gate}; last failure: {e}"),
+            None => gate.to_string(),
+        };
+        self.manifest.cells[i].status = CellStatus::Quarantined;
+        self.manifest.cells[i].last_error = Some(cause.clone());
+        self.store.save(&self.manifest)?;
+        simpadv_trace::counter("sweep/quarantined", 1);
+        let _ =
+            writeln!(progress, "cell {}: quarantined ({cause})", self.manifest.cells[i].spec.id);
+        Ok(())
+    }
+
+    /// The child argv for one cell attempt: the CLI `train` verb with a
+    /// per-cell checkpoint directory, `--resume latest` so a retried
+    /// attempt continues from the crashed one's newest valid
+    /// checkpoint, and `--report` as the completion contract.
+    fn cell_args(&self, i: usize) -> Vec<String> {
+        let spec = &self.manifest.cells[i].spec;
+        let grid = &self.manifest.config.grid;
+        let dir = cell_dir(&self.dir, &spec.id);
+        vec![
+            "train".to_string(),
+            "--dataset".to_string(),
+            grid.dataset.clone(),
+            "--method".to_string(),
+            spec.method.clone(),
+            "--eps".to_string(),
+            format!("{}", spec.eps),
+            "--epochs".to_string(),
+            grid.epochs.to_string(),
+            "--samples".to_string(),
+            spec.samples.to_string(),
+            "--test-samples".to_string(),
+            grid.test_samples.to_string(),
+            "--seed".to_string(),
+            grid.seed.to_string(),
+            "--threads".to_string(),
+            spec.threads.to_string(),
+            "--checkpoint-dir".to_string(),
+            dir.join("ckpts").display().to_string(),
+            "--checkpoint-every".to_string(),
+            "1".to_string(),
+            "--resume".to_string(),
+            "latest".to_string(),
+            "--report".to_string(),
+            dir.join("report.json").display().to_string(),
+        ]
+    }
+
+    /// Builds the aggregate from the terminal manifest + cell reports.
+    fn aggregate(&self, wall_total_s: f64) -> Result<SweepArtifact, SweepError> {
+        let grid = &self.manifest.config.grid;
+        let mut cells = Vec::new();
+        let mut quarantined = Vec::new();
+        for cell in &self.manifest.cells {
+            match cell.status {
+                CellStatus::Done => {
+                    let report =
+                        CellReport::load(&cell_dir(&self.dir, &cell.spec.id).join("report.json"))?;
+                    cells.push(SweepCellRow {
+                        id: cell.spec.id.clone(),
+                        method: cell.spec.method.clone(),
+                        eps: f64::from(report.eps),
+                        samples: report.samples,
+                        threads: cell.spec.threads,
+                        final_loss: f64::from(report.final_loss),
+                        columns: report.columns.clone(),
+                        accuracies: report.accuracies.iter().map(|a| f64::from(*a)).collect(),
+                    });
+                }
+                CellStatus::Quarantined => quarantined.push(QuarantineRow {
+                    id: cell.spec.id.clone(),
+                    cause: cell
+                        .last_error
+                        .clone()
+                        .unwrap_or_else(|| "retry allowance exhausted".to_string()),
+                }),
+                CellStatus::Pending | CellStatus::Running => {
+                    return Err(SweepError::Config(format!(
+                        "cell {} is not terminal; aggregate called too early",
+                        cell.spec.id
+                    )));
+                }
+            }
+        }
+        let attempts_total: u64 = self.manifest.cells.iter().map(|c| u64::from(c.attempts)).sum();
+        Ok(SweepArtifact {
+            schema_version: SWEEP_SCHEMA_VERSION,
+            experiment: SWEEP_EXPERIMENT.to_string(),
+            scale: SweepScale {
+                dataset: grid.dataset.clone(),
+                epochs: grid.epochs,
+                seed: grid.seed,
+                test_samples: grid.test_samples,
+                methods: grid.methods.clone(),
+                epsilons: grid.epsilons.iter().map(|e| f64::from(*e)).collect(),
+                samples: grid.samples.clone(),
+                threads: grid.threads.clone(),
+            },
+            completed: cells.len() as u64,
+            cells,
+            quarantined,
+            meta: SweepMeta {
+                wall_total_s,
+                attempts_total,
+                retries_spent: u64::from(self.manifest.retries_spent),
+                note: SweepArtifact::wall_note(),
+            },
+        })
+    }
+}

@@ -1,0 +1,56 @@
+//! Typed failures of the campaign orchestrator.
+
+use simpadv_resilience::PersistError;
+use std::fmt;
+
+/// Why a campaign could not be started, resumed, or driven forward.
+///
+/// Note the deliberate absence of a "cell failed" variant: a failing
+/// cell is a *state transition* (retry, then quarantine), never an
+/// orchestrator error — the campaign degrades gracefully instead of
+/// aborting.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The grid or retry configuration is unusable.
+    Config(String),
+    /// Manifest or report persistence failed.
+    Persist(PersistError),
+    /// A child process could not be spawned or awaited at all (distinct
+    /// from the child running and failing, which is retried).
+    Supervise(String),
+    /// `--resume` found no valid manifest to continue from.
+    NothingToResume(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Config(msg) => write!(f, "invalid campaign config: {msg}"),
+            SweepError::Persist(e) => write!(f, "campaign persistence: {e}"),
+            SweepError::Supervise(msg) => write!(f, "cell supervision: {msg}"),
+            SweepError::NothingToResume(dir) => {
+                write!(f, "no valid campaign manifest under {dir}; start without --resume")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<PersistError> for SweepError {
+    fn from(e: PersistError) -> Self {
+        SweepError::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_mode() {
+        assert!(SweepError::Config("empty grid".into()).to_string().contains("empty grid"));
+        assert!(SweepError::NothingToResume("/tmp/x".into()).to_string().contains("--resume"));
+        assert!(SweepError::Supervise("spawn: ENOENT".into()).to_string().contains("spawn"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Declarative campaign grids and their expansion into cells.
+//!
+//! A [`GridSpec`] is the Table-I-shaped cross product the paper's
+//! comparative claim lives on: trainer x epsilon x training-set scale x
+//! thread count. Expansion is deterministic — cells are emitted in
+//! lexicographic axis order (method, then epsilon, then samples, then
+//! threads) with a stable, human-readable id — so a resumed campaign
+//! re-derives exactly the cell list the killed one was working through.
+
+use serde::{Deserialize, Serialize};
+
+/// Trainer names the child CLI accepts; kept in sync with
+/// `simpadv-cli`'s `parse_method` (the CLI's test suite asserts the two
+/// lists agree, so drift breaks the build, not a campaign).
+pub const KNOWN_METHODS: &[&str] =
+    &["vanilla", "fgsm", "atda", "proposed", "free", "bim10", "bim30"];
+
+/// The declarative campaign grid: shared training shape + four axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Dataset id (`mnist` | `fashion`), shared by every cell.
+    pub dataset: String,
+    /// Epochs per cell.
+    pub epochs: u64,
+    /// Shared seed: cells differ by axis values, not by seed, exactly
+    /// like the paper's tables.
+    pub seed: u64,
+    /// Held-out evaluation size for each cell's report.
+    pub test_samples: u64,
+    /// Trainer axis.
+    pub methods: Vec<String>,
+    /// Perturbation-budget axis.
+    pub epsilons: Vec<f32>,
+    /// Training-set-size axis.
+    pub samples: Vec<u64>,
+    /// Worker-thread axis (results are bitwise thread-invariant; the
+    /// axis exists to prove that at campaign scale).
+    pub threads: Vec<u64>,
+}
+
+/// One expanded grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Position in expansion order (0-based); also the backoff-seed index.
+    pub index: u64,
+    /// Stable human-readable id, e.g. `c003-proposed-e300m-s60-t1`.
+    pub id: String,
+    /// Trainer name (one of [`KNOWN_METHODS`]).
+    pub method: String,
+    /// Perturbation budget for training and evaluation.
+    pub eps: f32,
+    /// Training samples.
+    pub samples: u64,
+    /// Worker threads for the child.
+    pub threads: u64,
+}
+
+impl GridSpec {
+    /// Validates the grid: every axis non-empty, methods known, epsilons
+    /// finite and non-negative, scalar fields positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dataset != "mnist" && self.dataset != "fashion" {
+            return Err(format!("unknown dataset '{}' (mnist|fashion)", self.dataset));
+        }
+        if self.epochs == 0 {
+            return Err("epochs must be positive".into());
+        }
+        if self.test_samples == 0 {
+            return Err("test-samples must be positive".into());
+        }
+        for (axis, empty) in [
+            ("methods", self.methods.is_empty()),
+            ("eps", self.epsilons.is_empty()),
+            ("samples", self.samples.is_empty()),
+            ("threads", self.threads.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("axis '{axis}' is empty"));
+            }
+        }
+        for m in &self.methods {
+            if !KNOWN_METHODS.contains(&m.as_str()) {
+                return Err(format!("unknown method '{m}' (known: {})", KNOWN_METHODS.join(" ")));
+            }
+        }
+        for e in &self.epsilons {
+            if !e.is_finite() || *e < 0.0 {
+                return Err(format!("epsilon {e} must be finite and >= 0"));
+            }
+        }
+        if self.samples.contains(&0) || self.threads.contains(&0) {
+            return Err("samples and threads axis values must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into cells, in deterministic axis order.
+    pub fn expand(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for method in &self.methods {
+            for eps in &self.epsilons {
+                for samples in &self.samples {
+                    for threads in &self.threads {
+                        let index = cells.len() as u64;
+                        cells.push(CellSpec {
+                            index,
+                            id: format!(
+                                "c{index:03}-{method}-e{}m-s{samples}-t{threads}",
+                                eps_permille(*eps)
+                            ),
+                            method: method.clone(),
+                            eps: *eps,
+                            samples: *samples,
+                            threads: *threads,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Epsilon in permille, for cell ids only (the spec keeps the exact f32).
+fn eps_permille(eps: f32) -> u32 {
+    (f64::from(eps) * 1000.0).round() as u32
+}
+
+/// Parses a comma-separated list of non-negative floats (an epsilon axis).
+///
+/// # Errors
+///
+/// Returns a message naming the unparsable element.
+pub fn parse_f32_list(text: &str) -> Result<Vec<f32>, String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<f32>().map_err(|_| format!("cannot parse '{s}' as a number")))
+        .collect()
+}
+
+/// Parses a comma-separated list of positive integers (samples/threads axes).
+///
+/// # Errors
+///
+/// Returns a message naming the unparsable element.
+pub fn parse_u64_list(text: &str) -> Result<Vec<u64>, String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u64>().map_err(|_| format!("cannot parse '{s}' as an integer")))
+        .collect()
+}
+
+/// Parses a comma-separated method list against [`KNOWN_METHODS`].
+///
+/// # Errors
+///
+/// Returns a message naming the unknown method.
+pub fn parse_method_list(text: &str) -> Result<Vec<String>, String> {
+    let methods: Vec<String> =
+        text.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect();
+    for m in &methods {
+        if !KNOWN_METHODS.contains(&m.as_str()) {
+            return Err(format!("unknown method '{m}' (known: {})", KNOWN_METHODS.join(" ")));
+        }
+    }
+    Ok(methods)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridSpec {
+        GridSpec {
+            dataset: "mnist".into(),
+            epochs: 2,
+            seed: 2019,
+            test_samples: 40,
+            methods: vec!["vanilla".into(), "proposed".into()],
+            epsilons: vec![0.1, 0.3],
+            samples: vec![32],
+            threads: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_with_stable_ids() {
+        let cells = grid().expand();
+        // 2 methods x 2 epsilons x 1 sample count x 2 thread counts
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].id, "c000-vanilla-e100m-s32-t1");
+        assert_eq!(cells[7].id, "c007-proposed-e300m-s32-t2");
+        assert_eq!(cells, grid().expand(), "expansion is a pure function of the spec");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        assert!(grid().validate().is_ok());
+        let mut g = grid();
+        g.dataset = "imagenet".into();
+        assert!(g.validate().unwrap_err().contains("dataset"));
+        let mut g = grid();
+        g.methods = vec!["magic".into()];
+        assert!(g.validate().unwrap_err().contains("magic"));
+        let mut g = grid();
+        g.epsilons = vec![-0.5];
+        assert!(g.validate().unwrap_err().contains("-0.5"));
+        let mut g = grid();
+        g.epsilons.clear();
+        assert!(g.validate().unwrap_err().contains("eps"));
+        let mut g = grid();
+        g.threads = vec![0];
+        assert!(g.validate().unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn list_parsers_trim_and_reject() {
+        assert_eq!(parse_f32_list("0.1, 0.3").unwrap(), vec![0.1, 0.3]);
+        assert!(parse_f32_list("0.1,zebra").is_err());
+        assert_eq!(parse_u64_list("32,64").unwrap(), vec![32, 64]);
+        assert!(parse_u64_list("32,-1").is_err());
+        assert_eq!(parse_method_list("vanilla,proposed").unwrap().len(), 2);
+        assert!(parse_method_list("vanilla,magic").is_err());
+    }
+
+    #[test]
+    fn grid_round_trips_through_json() {
+        let g = grid();
+        let text = serde_json::to_string(&g).unwrap();
+        let back: GridSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, g);
+    }
+}
