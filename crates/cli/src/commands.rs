@@ -94,7 +94,8 @@ COMMANDS
             [--threads-list N,..] [--epochs N] [--seed S]
             [--test-samples N] [--cell-deadline-us N] [--retry-base-us N]
             [--retry-cap-us N] [--max-attempts N] [--retry-budget N]
-            [--out FILE] [--bin FILE] [--chaos-kill-cell-after-us N]
+            [--out FILE] [--bin FILE] [--trace-dir DIR]
+            [--chaos-kill-cell-after-us N]
             [--chaos-kill-cell-times N] [--chaos-child-failpoints SPEC]
             run a campaign: the method x eps x samples x threads grid
             expands into cells, each a supervised child `train` process
@@ -109,7 +110,25 @@ COMMANDS
             writes the BENCH_sweep.json aggregate (default --out), whose
             logical rows are bitwise identical however often the
             campaign was interrupted; chaos flags deliberately kill
-            cells or inject child failpoints to prove that
+            cells or inject child failpoints to prove that;
+            --trace-dir enables cross-process campaign tracing: the
+            orchestrator's own trace lands in DIR as
+            orchestrator.NNN.jsonl (one file per incarnation) and every
+            cell attempt writes its own JSONL trace there, stitched
+            into one campaign tree by `trace assemble`
+  sweep trace DIR [--weight wall|flops|work|attack-steps] [--out FILE]
+            assemble a campaign's --trace-dir directory and render the
+            unified campaign flamegraph (collapsed-stack), with an
+            orphan/salvage summary
+  trace assemble DIR [--out FILE] [--project raw|logical]
+            stitch the per-process JSONL traces a `sweep --trace-dir`
+            campaign left behind into one rooted campaign span tree:
+            cell traces graft under their attempt spans via remote
+            parent links, cells killed before their first flush appear
+            as explicit synthetic orphan nodes, and torn tails are
+            salvaged; --project logical applies the attempt-merging
+            projection under which a chaos-interrupted and resumed
+            campaign is byte-identical to an uninterrupted one
   trace summarize FILE
             fold a JSONL trace into per-span aggregate timings
   trace flame FILE [--weight wall|flops|work|attack-steps] [--out FILE]
@@ -128,6 +147,11 @@ COMMANDS
             aggregate — kinds are auto-detected and must match); logical
             regressions exit non-zero, wall drift warns (the CI perf
             gate); truncated artifacts get a typed error
+  bench compare --all DIR
+            self-gate every BENCH_*.json in DIR: each artifact must
+            parse as its detected kind and compare clean against
+            itself; prints a per-artifact pass/fail table and exits
+            non-zero if any fails
   bench kernels [--scale smoke|quick|full] [--target-us N] [--repeat N]
             [--warmup N] [--out FILE] [--flame-dir DIR]
             run the kernel microbenchmark lab: every hot kernel at real
@@ -159,7 +183,7 @@ GLOBAL OPTIONS
 /// Returns [`CliError`] on unknown commands, bad options or I/O failures.
 pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     apply_threads(args)?;
-    if !matches!(args.command.as_str(), "trace" | "bench" | "lint") {
+    if !matches!(args.command.as_str(), "trace" | "bench" | "lint" | "sweep") {
         args.expect_no_positionals()?;
     }
     let tracing = apply_trace(args)?;
@@ -508,6 +532,13 @@ fn cmd_serve<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 /// child processes with retry/backoff, quarantine, and a sealed
 /// resumable manifest, then writes the `BENCH_sweep.json` aggregate.
 fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("trace") => return cmd_sweep_trace(args, out),
+        Some(other) => {
+            return Err(CliError(format!("unknown sweep action '{other}' (trace)")));
+        }
+        None => {}
+    }
     args.expect_only(&[
         "dir",
         "resume",
@@ -526,6 +557,7 @@ fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "retry-budget",
         "out",
         "bin",
+        "trace-dir",
         "chaos-kill-cell-after-us",
         "chaos-kill-cell-times",
         "chaos-child-failpoints",
@@ -533,6 +565,11 @@ fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "trace",
         "trace-format",
     ])?;
+    let trace_dir = args.require("trace-dir").ok().map(std::path::PathBuf::from);
+    if trace_dir.is_some() && args.require("trace").is_ok() {
+        // Both install a process-global sink; the campaign trace owns it.
+        return Err(CliError("--trace-dir and --trace are mutually exclusive".into()));
+    }
     let dir = std::path::PathBuf::from(args.require("dir")?);
     let resume = match args.require("resume") {
         Ok("latest") => true,
@@ -597,8 +634,24 @@ fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         child_failpoints: args.require("chaos-child-failpoints").ok().map(str::to_string),
     };
     let out_path = std::path::PathBuf::from(args.get_or("out", "BENCH_sweep.json"));
-    let artifact =
-        campaign.run(&command, chaos, &out_path, out).map_err(|e| CliError(e.to_string()))?;
+    if let Some(tdir) = &trace_dir {
+        std::fs::create_dir_all(tdir)
+            .map_err(|e| CliError(format!("cannot create trace dir {}: {e}", tdir.display())))?;
+        // One orchestrator trace per incarnation: a resumed campaign
+        // takes the next free slot, so lexicographic file order is
+        // incarnation order for the collector.
+        let slot = orchestrator_trace_path(tdir)?;
+        simpadv_trace::install_file(&slot, simpadv_trace::TraceFormat::Jsonl)
+            .map_err(|e| CliError(format!("cannot open trace file {}: {e}", slot.display())))?;
+        campaign.set_trace_dir(tdir);
+    }
+    let ran = campaign.run(&command, chaos, &out_path, out);
+    if trace_dir.is_some() {
+        // Flush and drop the orchestrator sink whatever the outcome —
+        // a partial trace is still assemblable (crashed spans and all).
+        simpadv_trace::uninstall();
+    }
+    let artifact = ran.map_err(|e| CliError(e.to_string()))?;
     if artifact.quarantined.is_empty() {
         Ok(())
     } else {
@@ -606,6 +659,96 @@ fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         // must reflect that the aggregate is incomplete.
         Err(CliError(format!("sweep: {} cell(s) quarantined", artifact.quarantined.len())))
     }
+}
+
+/// The first free `orchestrator.NNN.jsonl` slot in a campaign trace
+/// directory, starting at 001.
+fn orchestrator_trace_path(dir: &std::path::Path) -> Result<std::path::PathBuf, CliError> {
+    for n in 1..=999u32 {
+        let path = dir.join(format!("orchestrator.{n:03}.jsonl"));
+        if !path.exists() {
+            return Ok(path);
+        }
+    }
+    Err(CliError(format!("{}: no free orchestrator trace slot (999 incarnations?)", dir.display())))
+}
+
+/// Reads every `*.jsonl` in a campaign trace directory into the
+/// `(file name, content)` pairs [`simpadv_obs::assemble`] stitches.
+/// File names (not paths) are the keys, because the orchestrator's
+/// `trace_file` anchor fields record bare names.
+fn read_trace_dir(dir: &str) -> Result<Vec<(String, String)>, CliError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CliError(format!("cannot read trace dir {dir}: {e}")))?;
+    let mut inputs = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError(format!("cannot list {dir}: {e}")))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.ends_with(".jsonl") || !path.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError(format!("cannot read trace file {}: {e}", path.display())))?;
+        inputs.push((name.to_string(), text));
+    }
+    if inputs.is_empty() {
+        return Err(CliError(format!("no .jsonl trace files in {dir}")));
+    }
+    Ok(inputs)
+}
+
+/// Prints the assembly's stitching summary: inputs consumed, spans
+/// auto-closed as crashed, orphan attempts, and salvaged torn tails.
+fn write_assembly_summary<W: Write>(
+    assembly: &simpadv_obs::Assembly,
+    out: &mut W,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "assembled {} file(s): {} event(s), {} crashed span(s), {} orphan(s), {} salvaged",
+        assembly.files.len(),
+        assembly.events.len(),
+        assembly.crashed_spans,
+        assembly.orphans.len(),
+        assembly.salvaged.len(),
+    )?;
+    for name in &assembly.orphans {
+        writeln!(out, "  orphan attempt (died before first flush): {name}")?;
+    }
+    for name in &assembly.salvaged {
+        writeln!(out, "  salvaged torn tail: {name}")?;
+    }
+    Ok(())
+}
+
+/// `sweep trace DIR` — assemble a campaign's `--trace-dir` directory
+/// and render the unified campaign flamegraph.
+fn cmd_sweep_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    args.expect_only(&["threads", "trace", "trace-format", "weight", "out"])?;
+    let dir =
+        args.positional(1).ok_or_else(|| CliError("sweep trace needs a DIR argument".into()))?;
+    if args.positional(2).is_some() {
+        return Err(CliError("sweep trace takes exactly one DIR".into()));
+    }
+    let assembly = simpadv_obs::assemble(&read_trace_dir(dir)?)?;
+    write_assembly_summary(&assembly, out)?;
+    let tree = simpadv_obs::build_tree(&assembly.events)?;
+    let name = args.get_or("weight", "wall");
+    let weight = simpadv_obs::FlameWeight::parse(name).ok_or_else(|| {
+        CliError(format!("unknown weight '{name}' (wall|flops|work|attack-steps)"))
+    })?;
+    let text = simpadv_obs::render_collapsed(&simpadv_obs::collapse(&tree, weight));
+    if let Ok(dest) = args.require("out") {
+        simpadv_resilience::atomic_write(std::path::Path::new(dest), text.as_bytes())
+            .map_err(|e| CliError(format!("cannot write {dest}: {e}")))?;
+        writeln!(out, "wrote {dest}")?;
+    } else {
+        write!(out, "{text}")?;
+    }
+    Ok(())
 }
 
 /// Reads and strictly parses a JSONL trace, mapping I/O and schema
@@ -637,8 +780,42 @@ fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "by",
         "limit",
         "wall-threshold",
+        "project",
     ])?;
     match args.positional(0) {
+        Some("assemble") => {
+            let dir = args
+                .positional(1)
+                .ok_or_else(|| CliError("trace assemble needs a DIR argument".into()))?;
+            if args.positional(2).is_some() {
+                return Err(CliError("trace assemble takes exactly one DIR".into()));
+            }
+            let assembly = simpadv_obs::assemble(&read_trace_dir(dir)?)?;
+            write_assembly_summary(&assembly, out)?;
+            let events = match args.get_or("project", "raw") {
+                "raw" => assembly.events,
+                // The logical projection: attempt spans merged away,
+                // checkpoint scaffolding dropped, meta stripped — the
+                // form in which chaos+resume equals uninterrupted.
+                "logical" => simpadv_obs::normalize(&assembly.events)?,
+                other => {
+                    return Err(CliError(format!("unknown projection '{other}' (raw|logical)")))
+                }
+            };
+            let mut text = String::new();
+            for event in &events {
+                text.push_str(&event.to_json_line());
+                text.push('\n');
+            }
+            if let Ok(dest) = args.require("out") {
+                simpadv_resilience::atomic_write(std::path::Path::new(dest), text.as_bytes())
+                    .map_err(|e| CliError(format!("cannot write {dest}: {e}")))?;
+                writeln!(out, "wrote {dest} ({} events)", events.len())?;
+            } else {
+                write!(out, "{text}")?;
+            }
+            Ok(())
+        }
         Some("summarize") => {
             let events = read_trace_events(one_file(args, "summarize")?)?;
             let mut summary = simpadv_trace::Summary::default();
@@ -702,10 +879,10 @@ fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                 )))
             }
         }
-        Some(other) => {
-            Err(CliError(format!("unknown trace action '{other}' (summarize|flame|top|diff)")))
-        }
-        None => Err(CliError("usage: trace summarize|flame|top|diff ...".into())),
+        Some(other) => Err(CliError(format!(
+            "unknown trace action '{other}' (assemble|summarize|flame|top|diff)"
+        ))),
+        None => Err(CliError("usage: trace assemble|summarize|flame|top|diff ...".into())),
     }
 }
 
@@ -716,6 +893,7 @@ fn cmd_bench<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         "trace-format",
         "wall-threshold",
         "accuracy-tolerance",
+        "all",
         "scale",
         "target-us",
         "repeat",
@@ -735,6 +913,12 @@ fn cmd_bench<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
 /// ([`simpadv_obs::ArtifactKind`]) and dispatch to the matching logical
 /// comparison; mixing kinds is an error naming both sides.
 fn cmd_bench_compare<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    if let Ok(dir) = args.require("all") {
+        if args.positional(1).is_some() {
+            return Err(CliError("bench compare --all DIR takes no positional files".into()));
+        }
+        return cmd_bench_compare_all(dir, out);
+    }
     let (Some(base_path), Some(cand_path)) = (args.positional(1), args.positional(2)) else {
         return Err(CliError("bench compare needs BASELINE and CANDIDATE files".into()));
     };
@@ -819,6 +1003,93 @@ fn cmd_bench_compare<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError>
             "bench compare: {} logical regression(s) vs {base_path}",
             report.regressions.len()
         )))
+    }
+}
+
+/// `bench compare --all DIR` — self-gate every `BENCH_*.json` in a
+/// directory: each artifact must parse as its detected kind and
+/// compare clean against itself. This is how CI catches a committed
+/// baseline torn by a killed writer, drifted to an old schema, or
+/// internally inconsistent, without needing a second artifact.
+fn cmd_bench_compare_all<W: Write>(dir: &str, out: &mut W) -> Result<(), CliError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CliError(format!("cannot read artifact dir {dir}: {e}")))?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError(format!("cannot list {dir}: {e}")))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with("BENCH_") && name.ends_with(".json") && path.is_file() {
+            names.push(name.to_string());
+        }
+    }
+    if names.is_empty() {
+        return Err(CliError(format!("no BENCH_*.json artifacts in {dir}")));
+    }
+    names.sort();
+    let width = names.iter().map(String::len).max().unwrap_or(0).max(8);
+    writeln!(out, "{:width$}  {:18}  result", "artifact", "kind")?;
+    let mut failures = 0usize;
+    for name in &names {
+        let path = std::path::Path::new(dir).join(name);
+        match self_gate_artifact(&path) {
+            Ok(kind) => writeln!(out, "{name:width$}  {:18}  PASS", kind.label())?,
+            Err(reason) => {
+                failures += 1;
+                writeln!(out, "{name:width$}  {:18}  FAIL: {reason}", "?")?;
+            }
+        }
+    }
+    if failures == 0 {
+        writeln!(out, "{} artifact(s), all pass", names.len())?;
+        Ok(())
+    } else {
+        Err(CliError(format!(
+            "bench compare --all: {failures} of {} artifact(s) failed the self-gate",
+            names.len()
+        )))
+    }
+}
+
+/// Parses one committed artifact as its detected kind and compares it
+/// against itself; any parse or comparison failure is the gate reason.
+fn self_gate_artifact(path: &std::path::Path) -> Result<simpadv_obs::ArtifactKind, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value: serde::Value = simpadv_obs::parse_artifact(&text).map_err(|e| e.to_string())?;
+    let tag = match value.get("experiment") {
+        Some(serde::Value::String(s)) => s.as_str(),
+        _ => "",
+    };
+    let kind = simpadv_obs::ArtifactKind::from_experiment(tag);
+    let opts = simpadv_obs::CompareOptions::default();
+    let passed = match kind {
+        simpadv_obs::ArtifactKind::Serve => {
+            let a: simpadv_obs::ServeArtifact =
+                simpadv_obs::parse_artifact(&text).map_err(|e| e.to_string())?;
+            simpadv_obs::compare_serve(&a, &a).passed()
+        }
+        simpadv_obs::ArtifactKind::Kernels => {
+            let a: simpadv_obs::KernelsArtifact =
+                simpadv_obs::parse_artifact(&text).map_err(|e| e.to_string())?;
+            simpadv_obs::compare_kernels(&a, &a, &opts).passed()
+        }
+        simpadv_obs::ArtifactKind::Sweep => {
+            let a: simpadv_obs::SweepArtifact =
+                simpadv_obs::parse_artifact(&text).map_err(|e| e.to_string())?;
+            simpadv_obs::compare_sweep(&a, &a).passed()
+        }
+        simpadv_obs::ArtifactKind::Training => {
+            let a: simpadv_obs::BenchArtifact =
+                simpadv_obs::parse_artifact(&text).map_err(|e| e.to_string())?;
+            simpadv_obs::compare(&a, &a, &opts).passed()
+        }
+    };
+    if passed {
+        Ok(kind)
+    } else {
+        Err("self-comparison reports a regression".to_string())
     }
 }
 
@@ -1111,7 +1382,8 @@ mod tests {
         } else {
             (Vec::new(), Vec::new())
         };
-        simpadv_trace::Event { seq, kind, path: path.to_string(), fields, meta }.to_json_line()
+        simpadv_trace::Event { seq, kind, path: path.to_string(), fields, meta, ctx: None }
+            .to_json_line()
     }
 
     /// A balanced two-epoch trace: train(6000us) > 2x epoch(2000+3000us).
@@ -1404,7 +1676,10 @@ mod tests {
         // bad flags are rejected
         assert!(run_line("bench kernels --scale bogus").is_err());
         assert!(run_line("bench kernels extra").is_err());
-        assert!(run_line("bench kernels --trace t.jsonl").is_err());
+        // a relative path here would leave a stray trace file in the
+        // crate directory: the sink installs before the verb rejects it
+        let rejected = dir.join("rejected.jsonl");
+        assert!(run_line(&format!("bench kernels --trace {}", rejected.display())).is_err());
     }
 
     #[test]
@@ -1570,6 +1845,150 @@ mod tests {
         let empty = write_temp("trunc-empty.json", "");
         let err = run_line(&format!("bench compare {empty} {whole}")).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    /// Writes a two-process toy campaign trace dir: an orchestrator
+    /// incarnation whose attempt span anchors `c000.attempt001.jsonl`,
+    /// and that cell trace rooted at the attempt's remote context.
+    fn toy_campaign_dir(name: &str) -> String {
+        use simpadv_trace::EventKind::{SpanClose, SpanOpen};
+        use simpadv_trace::{Event, FieldValue, TraceContext};
+        let dir = std::env::temp_dir().join(format!("simpadv-cli-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cx = |span, parent| Some(TraceContext { trace_id: 7, span_id: span, parent });
+        let u = |k: &str, v: u64| (k.to_string(), FieldValue::U64(v));
+        let s = |k: &str, v: &str| (k.to_string(), FieldValue::Str(v.to_string()));
+        let ev = |seq, kind, path: &str, fields, wall: u64, ctx| {
+            let meta = if kind == SpanClose { vec![u("wall_us", wall)] } else { Vec::new() };
+            Event { seq, kind, path: path.to_string(), fields, meta, ctx }.to_json_line()
+        };
+        let orch = [
+            ev(0, SpanOpen, "sweep", vec![u("cells", 1)], 0, cx(1, None)),
+            ev(1, SpanOpen, "sweep/sweep/cell", vec![u("index", 0)], 0, cx(2, Some(1))),
+            ev(
+                2,
+                SpanOpen,
+                "sweep/sweep/cell/sweep/attempt",
+                vec![u("n", 1), s("trace_file", "c000.attempt001.jsonl")],
+                0,
+                cx(3, Some(2)),
+            ),
+            ev(3, SpanClose, "sweep/sweep/cell/sweep/attempt", vec![], 50, None),
+            ev(4, SpanClose, "sweep/sweep/cell", vec![], 60, None),
+            ev(5, SpanClose, "sweep", vec![], 70, None),
+        ]
+        .join("\n");
+        let cell = [
+            ev(0, SpanOpen, "train", vec![s("trainer", "vanilla")], 0, cx(9, Some(3))),
+            ev(1, SpanOpen, "train/epoch", vec![u("index", 0)], 0, cx(10, Some(9))),
+            ev(2, SpanClose, "train/epoch", vec![u("forward", 4), u("flops", 100)], 20, None),
+            ev(3, SpanClose, "train", vec![u("forward", 4), u("flops", 100)], 30, None),
+        ]
+        .join("\n");
+        std::fs::write(dir.join("orchestrator.001.jsonl"), orch).unwrap();
+        std::fs::write(dir.join("c000.attempt001.jsonl"), cell).unwrap();
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn trace_assemble_stitches_a_toy_campaign_dir() {
+        let dir = toy_campaign_dir("assemble-test");
+        let text = run_line(&format!("trace assemble {dir}")).unwrap();
+        assert!(text.contains("assembled 2 file(s)"), "{text}");
+        assert!(text.contains("\"path\":\"campaign\""), "campaign root:\n{text}");
+        assert!(
+            text.contains("campaign/sweep/sweep/cell/sweep/attempt/train"),
+            "cell grafted under its attempt span:\n{text}"
+        );
+
+        // the logical projection merges the attempt scaffolding away
+        // and strips meta
+        let logical = run_line(&format!("trace assemble {dir} --project logical")).unwrap();
+        assert!(logical.contains("\"path\":\"campaign\""), "{logical}");
+        assert!(!logical.contains("wall_us"), "meta must be stripped:\n{logical}");
+
+        // --out writes the stream instead of printing it
+        let dest = std::path::Path::new(&dir).join("assembled.jsonl");
+        let text = run_line(&format!("trace assemble {dir} --out {}", dest.display())).unwrap();
+        assert!(text.contains("wrote"), "{text}");
+        let written = std::fs::read_to_string(&dest).unwrap();
+        assert!(simpadv_obs::read_events(&written).is_ok(), "written stream must re-parse");
+
+        // bad invocations are typed errors
+        assert!(run_line("trace assemble").is_err());
+        assert!(run_line("trace assemble /nonexistent/dir").is_err());
+        assert!(run_line(&format!("trace assemble {dir} extra")).is_err());
+        let err = run_line(&format!("trace assemble {dir} --project bogus")).unwrap_err();
+        assert!(err.to_string().contains("raw|logical"), "{err}");
+    }
+
+    #[test]
+    fn sweep_trace_renders_the_campaign_flamegraph() {
+        let dir = toy_campaign_dir("sweep-trace-test");
+        let text = run_line(&format!("sweep trace {dir}")).unwrap();
+        assert!(text.contains("assembled 2 file(s)"), "{text}");
+        assert!(
+            text.contains("campaign;sweep;sweep/cell;sweep/attempt;train"),
+            "collapsed campaign stack:\n{text}"
+        );
+        assert!(run_line("sweep trace").is_err());
+        assert!(run_line(&format!("sweep trace {dir} extra")).is_err());
+        let err = run_line("sweep frobnicate").unwrap_err();
+        assert!(err.to_string().contains("unknown sweep action"), "{err}");
+    }
+
+    #[test]
+    fn sweep_trace_dir_is_exclusive_with_trace_and_slots_advance() {
+        let dir = std::env::temp_dir().join("simpadv-cli-trace-dir-flags");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_line(&format!(
+            "sweep --dir {} --trace-dir {} --trace {}",
+            dir.join("campaign").display(),
+            dir.join("traces").display(),
+            dir.join("t.jsonl").display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+
+        // incarnation slots: first free NNN, starting 001
+        assert_eq!(orchestrator_trace_path(&dir).unwrap(), dir.join("orchestrator.001.jsonl"));
+        std::fs::write(dir.join("orchestrator.001.jsonl"), "").unwrap();
+        assert_eq!(orchestrator_trace_path(&dir).unwrap(), dir.join("orchestrator.002.jsonl"));
+    }
+
+    #[test]
+    fn bench_compare_all_self_gates_every_artifact() {
+        let dir = std::env::temp_dir().join("simpadv-cli-compare-all");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sweep_json = serde_json::to_string(&tiny_sweep_artifact()).unwrap();
+        let kernels_json = serde_json::to_string(&tiny_kernels_artifact()).unwrap();
+        std::fs::write(dir.join("BENCH_sweep.json"), &sweep_json).unwrap();
+        std::fs::write(dir.join("BENCH_kernels.json"), &kernels_json).unwrap();
+        std::fs::write(dir.join("unrelated.json"), "not an artifact").unwrap();
+
+        let text = run_line(&format!("bench compare --all {}", dir.display())).unwrap();
+        assert!(text.contains("BENCH_sweep.json"), "{text}");
+        assert!(text.contains("sweep aggregate"), "{text}");
+        assert!(text.contains("kernel scoreboard"), "{text}");
+        assert!(text.contains("all pass"), "{text}");
+        assert!(!text.contains("unrelated"), "only BENCH_*.json is gated:\n{text}");
+
+        // a torn artifact flips its row to FAIL and the exit to error
+        std::fs::write(dir.join("BENCH_torn.json"), &sweep_json[..sweep_json.len() / 2]).unwrap();
+        let err = run_line(&format!("bench compare --all {}", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("1 of 3"), "{err}");
+
+        // empty directories and stray positionals are typed errors
+        let empty = std::env::temp_dir().join("simpadv-cli-compare-all-empty");
+        let _ = std::fs::remove_dir_all(&empty);
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run_line(&format!("bench compare --all {}", empty.display())).unwrap_err();
+        assert!(err.to_string().contains("no BENCH_*.json"), "{err}");
+        let err = run_line(&format!("bench compare a.json --all {}", dir.display())).unwrap_err();
+        assert!(err.to_string().contains("no positional"), "{err}");
     }
 
     #[test]

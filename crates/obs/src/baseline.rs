@@ -378,7 +378,14 @@ mod tests {
         let fields = trainer
             .map(|t| vec![("trainer".to_string(), FieldValue::Str(t.to_string()))])
             .unwrap_or_default();
-        Event { seq, kind: EventKind::SpanOpen, path: path.into(), fields, meta: Vec::new() }
+        Event {
+            seq,
+            kind: EventKind::SpanOpen,
+            path: path.into(),
+            fields,
+            meta: Vec::new(),
+            ctx: None,
+        }
     }
 
     fn close(seq: u64, path: &str, wall: u64, forward: u64) -> Event {
@@ -393,6 +400,7 @@ mod tests {
                 ("attack_steps".into(), FieldValue::U64(0)),
             ],
             meta: vec![("wall_us".into(), FieldValue::U64(wall))],
+            ctx: None,
         }
     }
 

@@ -1,0 +1,1218 @@
+//! Cross-process trace collection: stitching one campaign's per-process
+//! JSONL traces into a single rooted span tree.
+//!
+//! A traced campaign leaves a directory of trace files behind: one or
+//! more orchestrator traces (a chaos-interrupted campaign resumes into a
+//! fresh file) plus one file per cell *attempt*, written by the child
+//! process the supervisor spawned. The files are linked by trace
+//! context: every `sweep/attempt` span names its child's trace file in a
+//! `trace_file` field, and the child's top-level spans carry the attempt
+//! span's id as their remote parent (propagated via
+//! `SIMPADV_TRACEPARENT`).
+//!
+//! [`assemble`] rebuilds the campaign tree from those links:
+//!
+//! * **Lenient parsing.** A cell SIGKILLed mid-write leaves a torn final
+//!   line; the collector drops it and records the salvage instead of
+//!   failing the whole assembly. Spans left open by a killed process are
+//!   auto-closed and marked `crashed = true` on their open event.
+//! * **Stitching.** A file named by some span's `trace_file` field is
+//!   grafted under that span — the unambiguous link, immune to span-id
+//!   collisions between orchestrator incarnations. Remaining file roots
+//!   with a remote parent (`ctx.parent`) are grafted under the span
+//!   carrying that id. Nodes whose `ctx.parent` disagrees with their
+//!   in-file parent (a serve request answered for a remote client) are
+//!   re-parented under the span they name.
+//! * **Orphans.** An attempt whose named trace file contributed no
+//!   events — the child died before its first flush — gets an explicit
+//!   synthetic `orphan` child (`synthetic = true`) so the gap is visible
+//!   in the tree rather than silent.
+//! * **Cost re-rollup.** Grafting moves cost between processes, so close
+//!   totals are adjusted: a span gains its grafted children's totals and
+//!   sheds moved-away ones, keeping parent ≥ Σ children telescoping for
+//!   the flamegraph and hot-spot machinery.
+//!
+//! The output is a renumbered, balanced event stream under one synthetic
+//! `campaign` root — directly consumable by [`crate::tree::build_tree`],
+//! [`crate::diff::diff`], and [`crate::flame::collapse`].
+//!
+//! [`normalize`] is the logical projection on top: it merges retry
+//! attempts (epochs deduped by index keeping the last complete run,
+//! checkpoint spans dropped, crashed spans dropped), strips meta and
+//! trace ids, and renumbers — so an interrupted-and-resumed campaign
+//! projects to byte-identical events as an uninterrupted one, at any
+//! worker thread count. That identity is the cross-process extension of
+//! the single-process determinism the `trace diff` gate already
+//! enforces.
+
+use crate::error::ObsError;
+use crate::reader::read_events;
+use crate::tree::{build_tree, CostVector, SpanNode};
+use simpadv_trace::{Event, EventKind, FieldValue, TraceContext};
+use std::collections::BTreeMap;
+
+/// An event's `fields` or `meta` list, in emission order.
+type FieldList = Vec<(String, FieldValue)>;
+
+/// Marker field on auto-closed spans whose process died mid-span.
+pub const CRASHED_FIELD: &str = "crashed";
+/// Marker field on nodes the collector invented (campaign root, orphan
+/// placeholders) rather than observed.
+pub const SYNTHETIC_FIELD: &str = "synthetic";
+/// Field on attempt spans naming the child's trace file — the stitching
+/// anchor and the orphan detector.
+pub const TRACE_FILE_FIELD: &str = "trace_file";
+/// Name of the synthetic root wrapping the whole assembled campaign.
+pub const CAMPAIGN_ROOT: &str = "campaign";
+/// Name of the synthetic child marking an attempt with no events.
+pub const ORPHAN_NAME: &str = "orphan";
+
+/// The result of stitching one campaign directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assembly {
+    /// The assembled, renumbered, balanced event stream: one synthetic
+    /// `campaign` root span wrapping every process's spans.
+    pub events: Vec<Event>,
+    /// File names consumed, in the (sorted) order they were processed.
+    pub files: Vec<String>,
+    /// Trace files named by an attempt span that contributed no events:
+    /// children killed before their first flush. Each is also a
+    /// synthetic `orphan` node in the tree.
+    pub orphans: Vec<String>,
+    /// Files whose torn final line was dropped (writer killed
+    /// mid-write).
+    pub salvaged: Vec<String>,
+    /// Spans auto-closed because their process died while they were
+    /// open.
+    pub crashed_spans: u64,
+    /// Counter/gauge/histogram events dropped (the campaign tree is a
+    /// span tree; point events stay in the per-process files).
+    pub point_events: u64,
+}
+
+/// One stitched span in the working arena. Children are arena indices
+/// so grafting and re-parenting are index moves, not tree surgery.
+struct ANode {
+    /// Leaf name relative to the parent (may contain `/`, like
+    /// `checkpoint/save`).
+    name: String,
+    open_fields: Vec<(String, FieldValue)>,
+    close_fields: Vec<(String, FieldValue)>,
+    close_meta: Vec<(String, FieldValue)>,
+    ctx: Option<TraceContext>,
+    /// No close event was observed: the process died with it open.
+    crashed: bool,
+    /// Invented by the collector, not observed in any file.
+    synthetic: bool,
+    /// `(child index, grafted)` — grafted children arrived from another
+    /// file and are added to this span's totals on emission.
+    children: Vec<(usize, bool)>,
+    /// Observed totals of children re-parented away, subtracted from
+    /// this span's totals on emission.
+    moved_out: Vec<CostVector>,
+    /// Which input file the node came from (`usize::MAX` = synthetic).
+    file: usize,
+}
+
+impl ANode {
+    fn synthetic(name: &str, open_fields: Vec<(String, FieldValue)>) -> ANode {
+        ANode {
+            name: name.to_string(),
+            open_fields,
+            close_fields: Vec::new(),
+            close_meta: Vec::new(),
+            ctx: None,
+            crashed: false,
+            synthetic: true,
+            children: Vec::new(),
+            moved_out: Vec::new(),
+            file: usize::MAX,
+        }
+    }
+
+    /// The cost this span's own close event claimed (zero when the
+    /// close was never written).
+    fn observed_total(&self) -> CostVector {
+        if self.crashed || self.synthetic {
+            return CostVector::default();
+        }
+        CostVector {
+            wall_us: field_u64(&self.close_meta, "wall_us"),
+            forward: field_u64(&self.close_fields, "forward"),
+            backward: field_u64(&self.close_fields, "backward"),
+            flops: field_u64(&self.close_fields, "flops"),
+            attack_steps: field_u64(&self.close_fields, "attack_steps"),
+        }
+    }
+}
+
+fn field_u64(pairs: &[(String, FieldValue)], key: &str) -> u64 {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::U64(n) => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+fn field_str<'a>(pairs: &'a [(String, FieldValue)], key: &str) -> Option<&'a str> {
+    pairs.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        FieldValue::Str(s) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+fn field_bool(pairs: &[(String, FieldValue)], key: &str) -> bool {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| matches!(v, FieldValue::Bool(true)))
+        .unwrap_or(false)
+}
+
+/// Parses one file's text leniently: a torn final line is dropped (and
+/// reported), spans still open at EOF are auto-closed as crashed.
+/// Returns the root indices this file contributed to the arena.
+fn parse_file_lenient(
+    name: &str,
+    text: &str,
+    file_idx: usize,
+    arena: &mut Vec<ANode>,
+    salvaged: &mut Vec<String>,
+    crashed_spans: &mut u64,
+    point_events: &mut u64,
+) -> Result<Vec<usize>, ObsError> {
+    let events = match read_events(text) {
+        Ok(events) => events,
+        Err(ObsError::TruncatedTail { .. }) => {
+            // The signature of a writer killed mid-line: drop the tail,
+            // keep everything before it.
+            let kept: Vec<&str> = {
+                let lines: Vec<&str> = text.lines().collect();
+                let last_nonblank = lines.iter().rposition(|l| !l.trim().is_empty()).unwrap_or(0);
+                lines[..last_nonblank].to_vec()
+            };
+            salvaged.push(name.to_string());
+            read_events(&kept.join("\n")).map_err(|e| file_error(name, &e))?
+        }
+        Err(e) => return Err(file_error(name, &e)),
+    };
+
+    let mut roots: Vec<usize> = Vec::new();
+    // Open spans: (arena index, full path as emitted).
+    let mut stack: Vec<(usize, String)> = Vec::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::SpanOpen => {
+                let parent_path = stack.last().map(|(_, p)| p.as_str());
+                let name = relative_name(&ev.path, parent_path);
+                let idx = arena.len();
+                arena.push(ANode {
+                    name,
+                    open_fields: ev.fields,
+                    close_fields: Vec::new(),
+                    close_meta: Vec::new(),
+                    ctx: ev.ctx,
+                    crashed: false,
+                    synthetic: false,
+                    children: Vec::new(),
+                    moved_out: Vec::new(),
+                    file: file_idx,
+                });
+                match stack.last() {
+                    Some(&(parent, _)) => arena[parent].children.push((idx, false)),
+                    None => roots.push(idx),
+                }
+                stack.push((idx, ev.path));
+            }
+            EventKind::SpanClose => {
+                let Some((top, top_path)) = stack.last() else {
+                    return Err(file_error(
+                        name,
+                        &ObsError::UnbalancedClose { seq: ev.seq, path: ev.path, expected: None },
+                    ));
+                };
+                if *top_path != ev.path {
+                    return Err(file_error(
+                        name,
+                        &ObsError::UnbalancedClose {
+                            seq: ev.seq,
+                            path: ev.path,
+                            expected: Some(top_path.clone()),
+                        },
+                    ));
+                }
+                let top = *top;
+                stack.pop();
+                arena[top].close_fields = ev.fields;
+                arena[top].close_meta = ev.meta;
+            }
+            EventKind::Counter | EventKind::Gauge | EventKind::Histogram => *point_events += 1,
+        }
+    }
+    // Spans still open at EOF: the process died while they ran.
+    for (idx, _) in stack {
+        arena[idx].crashed = true;
+        *crashed_spans += 1;
+    }
+    Ok(roots)
+}
+
+/// Prefixes an [`ObsError`]'s message with the offending file name.
+fn file_error(file: &str, err: &ObsError) -> ObsError {
+    ObsError::Parse { line: 0, message: format!("{file}: {err}") }
+}
+
+fn relative_name(path: &str, parent_path: Option<&str>) -> String {
+    match parent_path {
+        Some(pp)
+            if path.len() > pp.len() + 1
+                && path.starts_with(pp)
+                && path.as_bytes()[pp.len()] == b'/' =>
+        {
+            path[pp.len() + 1..].to_string()
+        }
+        _ => path.to_string(),
+    }
+}
+
+/// Stitches a set of `(file name, file text)` pairs into one campaign
+/// tree. Files are processed in sorted-name order so the assembly is
+/// independent of the caller's directory iteration order; name files so
+/// that lexicographic order is incarnation order
+/// (`orchestrator.001.jsonl`, `cell.attempt001.jsonl`, ...).
+///
+/// Crate discipline: no I/O here — the CLI reads the directory and
+/// hands over contents.
+///
+/// # Errors
+///
+/// [`ObsError::EmptyTrace`] when no file contributed any span;
+/// [`ObsError::Parse`] (prefixed with the file name) on interior
+/// corruption or unbalanced closes.
+pub fn assemble(inputs: &[(String, String)]) -> Result<Assembly, ObsError> {
+    let mut sorted: Vec<&(String, String)> = inputs.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut arena: Vec<ANode> = Vec::new();
+    let mut salvaged = Vec::new();
+    let mut crashed_spans = 0u64;
+    let mut point_events = 0u64;
+    let mut files = Vec::with_capacity(sorted.len());
+    // roots per file, parallel to `files`
+    let mut file_roots: Vec<Vec<usize>> = Vec::with_capacity(sorted.len());
+    for (file_idx, (name, text)) in sorted.iter().enumerate() {
+        files.push(name.clone());
+        let roots = parse_file_lenient(
+            name,
+            text,
+            file_idx,
+            &mut arena,
+            &mut salvaged,
+            &mut crashed_spans,
+            &mut point_events,
+        )?;
+        file_roots.push(roots);
+    }
+    if arena.is_empty() {
+        return Err(ObsError::EmptyTrace);
+    }
+
+    // Index 1: trace_file anchors. First occurrence wins; attempt file
+    // names are charged-at-spawn and collision-free, so duplicates only
+    // arise from malformed input.
+    let mut anchors: BTreeMap<String, usize> = BTreeMap::new();
+    // Index 2: span id -> node. First occurrence wins; ids can collide
+    // across orchestrator incarnations (both restart the logical clock
+    // on the same trace id), which is why cell files are grafted by
+    // anchor, not by id.
+    let mut by_span_id: BTreeMap<u64, usize> = BTreeMap::new();
+    for (idx, node) in arena.iter().enumerate() {
+        if let Some(tf) = field_str(&node.open_fields, TRACE_FILE_FIELD) {
+            anchors.entry(tf.to_string()).or_insert(idx);
+        }
+        if let Some(ctx) = node.ctx {
+            by_span_id.entry(ctx.span_id).or_insert(idx);
+        }
+    }
+
+    // Graft pass: attach each file's roots under the span that claims
+    // the file (anchor), else under the span its remote parent names.
+    let mut top_level: Vec<usize> = Vec::new();
+    for (file_idx, roots) in file_roots.iter().enumerate() {
+        let anchor = anchors.get(&files[file_idx]).copied().filter(|&a| arena[a].file != file_idx);
+        for &root in roots {
+            let target = anchor.or_else(|| {
+                arena[root]
+                    .ctx
+                    .and_then(|c| c.parent)
+                    .and_then(|p| by_span_id.get(&p).copied())
+                    .filter(|&t| t != root && !in_subtree(&arena, root, t))
+            });
+            match target {
+                Some(t) => arena[t].children.push((root, true)),
+                None => top_level.push(root),
+            }
+        }
+    }
+
+    // Re-parent pass: a span whose recorded remote parent is not its
+    // structural parent was executed on behalf of another span (a serve
+    // request answered for a traced client). Move it under the span it
+    // names. Processed in arena (= file, emission) order so the result
+    // is deterministic.
+    for idx in 0..arena.len() {
+        let Some(want) = arena[idx].ctx.and_then(|c| c.parent) else { continue };
+        let Some(&target) = by_span_id.get(&want) else { continue };
+        let Some(parent) = parent_of(&arena, idx) else { continue };
+        let parent_matches = arena[parent].ctx.map(|c| c.span_id) == Some(want);
+        if parent_matches || target == idx || target == parent || in_subtree(&arena, idx, target) {
+            continue;
+        }
+        let was_grafted = detach(&mut arena, parent, idx);
+        if !was_grafted {
+            let observed = arena[idx].observed_total();
+            arena[parent].moved_out.push(observed);
+        }
+        arena[target].children.push((idx, true));
+    }
+
+    // Orphan pass: every claimed trace file that contributed nothing
+    // becomes an explicit synthetic node under its attempt span.
+    let mut orphans = Vec::new();
+    for (tf, &anchor) in &anchors {
+        let contributed = files
+            .iter()
+            .position(|f| f == tf)
+            .map(|fi| !file_roots[fi].is_empty())
+            .unwrap_or(false);
+        if !contributed {
+            orphans.push(tf.clone());
+            let idx = arena.len();
+            arena.push(ANode::synthetic(
+                ORPHAN_NAME,
+                vec![
+                    (SYNTHETIC_FIELD.to_string(), FieldValue::Bool(true)),
+                    (TRACE_FILE_FIELD.to_string(), FieldValue::Str(tf.clone())),
+                ],
+            ));
+            arena[anchor].children.push((idx, true));
+        }
+    }
+
+    // Wrap everything in one synthetic campaign root.
+    let root = arena.len();
+    arena.push(ANode::synthetic(
+        CAMPAIGN_ROOT,
+        vec![(SYNTHETIC_FIELD.to_string(), FieldValue::Bool(true))],
+    ));
+    let top = std::mem::take(&mut top_level);
+    arena[root].children = top.into_iter().map(|i| (i, true)).collect();
+
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    emit_arena(&arena, root, CAMPAIGN_ROOT, &mut seq, &mut events);
+    Ok(Assembly { events, files, orphans, salvaged, crashed_spans, point_events })
+}
+
+/// Structural parent lookup (linear scan; campaign trees are small).
+fn parent_of(arena: &[ANode], idx: usize) -> Option<usize> {
+    (0..arena.len()).find(|&p| arena[p].children.iter().any(|&(c, _)| c == idx))
+}
+
+/// True when `needle` lies inside the subtree rooted at `root`.
+fn in_subtree(arena: &[ANode], root: usize, needle: usize) -> bool {
+    if root == needle {
+        return true;
+    }
+    arena[root].children.iter().any(|&(c, _)| in_subtree(arena, c, needle))
+}
+
+/// Removes `child` from `parent.children`, returning whether it had
+/// been grafted (vs an original in-file child).
+fn detach(arena: &mut [ANode], parent: usize, child: usize) -> bool {
+    let pos = arena[parent].children.iter().position(|&(c, _)| c == child).expect("child present");
+    arena[parent].children.remove(pos).1
+}
+
+/// Emitted total of a node: its own observed close, adjusted by the
+/// stitching delta of its whole subtree — grafted-in children add their
+/// emitted totals, moved-away children subtract their observed ones, and
+/// both propagate up through in-file ancestors so parent ≥ Σ children
+/// telescoping survives cross-process grafting. Crashed and synthetic
+/// nodes, which never closed, total their children.
+fn emitted_total(arena: &[ANode], idx: usize) -> CostVector {
+    let node = &arena[idx];
+    if node.crashed || node.synthetic {
+        let mut total = CostVector::default();
+        for &(c, _) in &node.children {
+            total.add(&emitted_total(arena, c));
+        }
+        return total;
+    }
+    let (gain, loss) = stitch_delta(arena, idx);
+    let mut total = node.observed_total();
+    total.add(&gain);
+    total.saturating_sub(&loss)
+}
+
+/// `(gain, loss)` the stitching passes introduced anywhere in the
+/// subtree of a *closed* node, relative to its observed close totals:
+/// grafted subtrees were never in this process's accounting (gain),
+/// re-parented-away children were (loss).
+fn stitch_delta(arena: &[ANode], idx: usize) -> (CostVector, CostVector) {
+    let node = &arena[idx];
+    let mut gain = CostVector::default();
+    let mut loss = CostVector::default();
+    for moved in &node.moved_out {
+        loss.add(moved);
+    }
+    for &(c, grafted) in &node.children {
+        let child = &arena[c];
+        if grafted || child.crashed || child.synthetic {
+            // Work this process's close never rolled up: count the
+            // child's full emitted subtree as gain.
+            gain.add(&emitted_total(arena, c));
+        } else {
+            let (g, l) = stitch_delta(arena, c);
+            gain.add(&g);
+            loss.add(&l);
+        }
+    }
+    (gain, loss)
+}
+
+/// Writes the five cost keys into close fields/meta, preserving any
+/// other keys the original close carried.
+fn rewrite_cost(
+    close_fields: &[(String, FieldValue)],
+    close_meta: &[(String, FieldValue)],
+    total: &CostVector,
+) -> (FieldList, FieldList) {
+    let mut fields: FieldList = close_fields
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "forward" | "backward" | "flops" | "attack_steps"))
+        .cloned()
+        .collect();
+    fields.extend([
+        ("forward".to_string(), FieldValue::U64(total.forward)),
+        ("backward".to_string(), FieldValue::U64(total.backward)),
+        ("flops".to_string(), FieldValue::U64(total.flops)),
+        ("attack_steps".to_string(), FieldValue::U64(total.attack_steps)),
+    ]);
+    let mut meta: Vec<(String, FieldValue)> =
+        close_meta.iter().filter(|(k, _)| k != "wall_us").cloned().collect();
+    meta.push(("wall_us".to_string(), FieldValue::U64(total.wall_us)));
+    (fields, meta)
+}
+
+/// Depth-first emission of the stitched arena as a balanced, renumbered
+/// event stream.
+fn emit_arena(arena: &[ANode], idx: usize, path: &str, seq: &mut u64, out: &mut Vec<Event>) {
+    let node = &arena[idx];
+    let mut open_fields = node.open_fields.clone();
+    if node.crashed {
+        open_fields.push((CRASHED_FIELD.to_string(), FieldValue::Bool(true)));
+    }
+    out.push(Event {
+        seq: *seq,
+        kind: EventKind::SpanOpen,
+        path: path.to_string(),
+        fields: open_fields,
+        meta: Vec::new(),
+        ctx: node.ctx,
+    });
+    *seq += 1;
+    for &(c, _) in &node.children {
+        let child_path = format!("{path}/{}", arena[c].name);
+        emit_arena(arena, c, &child_path, seq, out);
+    }
+    let total = emitted_total(arena, idx);
+    let (fields, meta) = rewrite_cost(&node.close_fields, &node.close_meta, &total);
+    out.push(Event {
+        seq: *seq,
+        kind: EventKind::SpanClose,
+        path: path.to_string(),
+        fields,
+        meta,
+        ctx: None,
+    });
+    *seq += 1;
+}
+
+// ---------------------------------------------------------------------
+// Normalization: the logical projection under which chaos+resume equals
+// uninterrupted.
+// ---------------------------------------------------------------------
+
+/// A normalized working node (paths rebuilt at emission).
+#[derive(Debug, Clone)]
+struct NNode {
+    name: String,
+    fields: Vec<(String, FieldValue)>,
+    total: CostVector,
+    children: Vec<NNode>,
+    /// Containers merged or synthesized by normalization total their
+    /// children; observed leaves keep their own close counters.
+    recompute: bool,
+}
+
+impl NNode {
+    fn total(&self) -> CostVector {
+        if !self.recompute {
+            return self.total;
+        }
+        let mut t = CostVector::default();
+        for c in &self.children {
+            t.add(&c.total());
+        }
+        t
+    }
+}
+
+/// Key under which occurrences of "the same logical span" from
+/// different attempts collide: leaf name plus open fields (markers
+/// stripped). Deterministic runs re-emit identical fields, so the
+/// retried copy of a span keys equal to the interrupted one.
+fn merge_key(node: &SpanNode) -> String {
+    let mut key = node.name.clone();
+    for (k, v) in &node.fields {
+        if k == CRASHED_FIELD || k == SYNTHETIC_FIELD {
+            continue;
+        }
+        key.push('\u{1}');
+        key.push_str(k);
+        key.push('\u{2}');
+        key.push_str(&format!("{v:?}"));
+    }
+    key
+}
+
+fn is_crashed(node: &SpanNode) -> bool {
+    field_bool(&node.fields, CRASHED_FIELD)
+}
+
+fn is_synthetic(node: &SpanNode) -> bool {
+    field_bool(&node.fields, SYNTHETIC_FIELD)
+}
+
+fn is_checkpoint(name: &str) -> bool {
+    name == "checkpoint" || name.starts_with("checkpoint/")
+}
+
+fn stripped_fields(node: &SpanNode) -> Vec<(String, FieldValue)> {
+    node.fields
+        .iter()
+        .filter(|(k, _)| k != CRASHED_FIELD && k != SYNTHETIC_FIELD)
+        .cloned()
+        .collect()
+}
+
+/// Projects one observed subtree: crashed spans, checkpoint spans and
+/// synthetic markers vanish; everything else keeps its observed logical
+/// totals. Returns `None` when the node itself must vanish.
+fn norm_subtree(node: &SpanNode) -> Option<NNode> {
+    if is_crashed(node) || is_synthetic(node) || is_checkpoint(&node.name) {
+        return None;
+    }
+    let children = node.children.iter().filter_map(norm_subtree).collect();
+    Some(NNode {
+        name: node.name.clone(),
+        fields: stripped_fields(node),
+        total: node.total,
+        children,
+        recompute: false,
+    })
+}
+
+/// Merges one cell's pooled attempt content (every attempt's children,
+/// in attempt order) into the single subtree an uninterrupted run would
+/// produce.
+///
+/// * `train` spans merge deeply: their pooled children are deduped by
+///   (name, fields) keeping the **last closed** occurrence — a resumed
+///   attempt re-emits the epochs it redid bitwise-identically (the
+///   checkpoint determinism contract), so keep-last converges on the
+///   full epoch set. Epochs are ordered by `index`; checkpoint and
+///   crashed spans are dropped.
+/// * Every other root (eval spans) dedupes by (name, fields) keeping
+///   the last closed occurrence.
+/// * Orphan placeholders vanish: an orphaned attempt's work was redone
+///   by a later attempt.
+fn merge_cell_content(pool: &[&SpanNode]) -> Vec<NNode> {
+    let trains: Vec<&SpanNode> = pool.iter().copied().filter(|n| n.name == "train").collect();
+    let mut out = Vec::new();
+    if !trains.is_empty() {
+        // Deep-merge: pool children across every train occurrence,
+        // including crashed ones — a killed attempt's completed epochs
+        // are real work its crashed parent never rolled up.
+        let mut kept: BTreeMap<String, NNode> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for train in &trains {
+            for child in &train.children {
+                let Some(normed) = norm_subtree(child) else { continue };
+                let key = merge_key(child);
+                kept.insert(key.clone(), normed);
+                // keep-last: move the key to the back of the order
+                order.retain(|k| k != &key);
+                order.push(key);
+            }
+        }
+        let mut children: Vec<NNode> =
+            order.into_iter().map(|k| kept.remove(&k).expect("ordered key")).collect();
+        // Epochs first in index order, everything else after in
+        // keep-last order.
+        let (mut epochs, rest): (Vec<NNode>, Vec<NNode>) =
+            children.drain(..).partition(|n| n.name == "epoch");
+        epochs.sort_by_key(|n| field_u64(&n.fields, "index"));
+        let fields = trains.last().map(|t| stripped_fields(t)).unwrap_or_default();
+        let mut merged_children = epochs;
+        merged_children.extend(rest);
+        out.push(NNode {
+            name: "train".to_string(),
+            fields,
+            total: CostVector::default(),
+            children: merged_children,
+            recompute: true,
+        });
+    }
+    // Non-train roots: dedupe by key, keep-last closed occurrence.
+    let mut kept: BTreeMap<String, NNode> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for node in pool.iter().copied().filter(|n| n.name != "train") {
+        let Some(normed) = norm_subtree(node) else { continue };
+        let key = merge_key(node);
+        kept.insert(key.clone(), normed);
+        order.retain(|k| k != &key);
+        order.push(key);
+    }
+    out.extend(order.into_iter().filter_map(|k| kept.remove(&k)));
+    out
+}
+
+/// The logical projection of an assembled campaign: retry attempts
+/// merged into one synthetic attempt per cell, orchestrator
+/// incarnations merged into one `sweep` node, checkpoint/crashed spans
+/// dropped, meta and trace ids stripped, sequence numbers reassigned.
+///
+/// Two campaigns with the same grid — one uninterrupted, one
+/// chaos-killed and resumed, at any worker thread count — project to
+/// byte-identical event streams.
+///
+/// # Errors
+///
+/// Propagates [`crate::tree::build_tree`] errors on a stream that is
+/// not a balanced assembly.
+pub fn normalize(events: &[Event]) -> Result<Vec<Event>, ObsError> {
+    let tree = build_tree(events)?;
+    // Accept either an assembled stream (single campaign root) or a
+    // bare forest; the projection always emits under a campaign root.
+    let pool: Vec<&SpanNode> = match tree.roots.as_slice() {
+        [root] if root.name == CAMPAIGN_ROOT => root.children.iter().collect(),
+        other => other.iter().collect(),
+    };
+
+    let sweeps: Vec<&SpanNode> = pool.iter().copied().filter(|n| n.name == "sweep").collect();
+    let others: Vec<&SpanNode> = pool.iter().copied().filter(|n| n.name != "sweep").collect();
+
+    let mut campaign_children: Vec<NNode> = Vec::new();
+    if !sweeps.is_empty() {
+        // Group cells across incarnations by their identity fields
+        // (the grid index), keeping first-seen order, then sorting by
+        // index for resume-order independence.
+        let mut cells: BTreeMap<String, Vec<&SpanNode>> = BTreeMap::new();
+        let mut cell_order: Vec<String> = Vec::new();
+        for sweep in &sweeps {
+            for child in &sweep.children {
+                if child.name != "sweep/cell" {
+                    continue;
+                }
+                let key = merge_key(child);
+                if !cells.contains_key(&key) {
+                    cell_order.push(key.clone());
+                }
+                cells.entry(key).or_default().push(child);
+            }
+        }
+        cell_order.sort_by_key(|k| {
+            cells.get(k).and_then(|v| v.first()).map_or(u64::MAX, |c| field_u64(&c.fields, "index"))
+        });
+
+        let mut cell_nodes = Vec::new();
+        for key in cell_order {
+            let Some(occurrences) = cells.get(&key) else { continue };
+            // Pool every attempt's content, across incarnations, in
+            // emission order.
+            let mut content: Vec<&SpanNode> = Vec::new();
+            for cell in occurrences {
+                for attempt in &cell.children {
+                    if attempt.name == "sweep/attempt" {
+                        content.extend(attempt.children.iter());
+                    }
+                }
+            }
+            let merged = merge_cell_content(&content);
+            let attempt = NNode {
+                name: "sweep/attempt".to_string(),
+                fields: Vec::new(),
+                total: CostVector::default(),
+                children: merged,
+                recompute: true,
+            };
+            let Some(last) = occurrences.last() else { continue };
+            cell_nodes.push(NNode {
+                name: "sweep/cell".to_string(),
+                fields: stripped_fields(last),
+                total: CostVector::default(),
+                children: vec![attempt],
+                recompute: true,
+            });
+        }
+        // Guarded by `!sweeps.is_empty()`; the fallback never fires.
+        let sweep_fields = sweeps.last().map(|s| stripped_fields(s)).unwrap_or_default();
+        campaign_children.push(NNode {
+            name: "sweep".to_string(),
+            fields: sweep_fields,
+            total: CostVector::default(),
+            children: cell_nodes,
+            recompute: true,
+        });
+    }
+    campaign_children.extend(others.iter().filter_map(|n| norm_subtree(n)));
+
+    let root = NNode {
+        name: CAMPAIGN_ROOT.to_string(),
+        fields: Vec::new(),
+        total: CostVector::default(),
+        children: campaign_children,
+        recompute: true,
+    };
+    let mut out = Vec::new();
+    let mut seq = 0u64;
+    emit_normalized(&root, CAMPAIGN_ROOT, &mut seq, &mut out);
+    Ok(out)
+}
+
+/// Emits a normalized node: logical fields only, close events carrying
+/// exactly the four logical counters, no meta, no ctx.
+fn emit_normalized(node: &NNode, path: &str, seq: &mut u64, out: &mut Vec<Event>) {
+    out.push(Event {
+        seq: *seq,
+        kind: EventKind::SpanOpen,
+        path: path.to_string(),
+        fields: node.fields.clone(),
+        meta: Vec::new(),
+        ctx: None,
+    });
+    *seq += 1;
+    for child in &node.children {
+        let child_path = format!("{path}/{}", child.name);
+        emit_normalized(child, &child_path, seq, out);
+    }
+    let total = node.total();
+    out.push(Event {
+        seq: *seq,
+        kind: EventKind::SpanClose,
+        path: path.to_string(),
+        fields: vec![
+            ("forward".to_string(), FieldValue::U64(total.forward)),
+            ("backward".to_string(), FieldValue::U64(total.backward)),
+            ("flops".to_string(), FieldValue::U64(total.flops)),
+            ("attack_steps".to_string(), FieldValue::U64(total.attack_steps)),
+        ],
+        meta: Vec::new(),
+        ctx: None,
+    });
+    *seq += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(trace: u128, span: u64, parent: Option<u64>) -> Option<TraceContext> {
+        Some(TraceContext { trace_id: trace, span_id: span, parent })
+    }
+
+    fn open(
+        seq: u64,
+        path: &str,
+        fields: Vec<(String, FieldValue)>,
+        c: Option<TraceContext>,
+    ) -> String {
+        Event {
+            seq,
+            kind: EventKind::SpanOpen,
+            path: path.into(),
+            fields,
+            meta: Vec::new(),
+            ctx: c,
+        }
+        .to_json_line()
+    }
+
+    fn close(seq: u64, path: &str, forward: u64, flops: u64, wall: u64) -> String {
+        Event {
+            seq,
+            kind: EventKind::SpanClose,
+            path: path.into(),
+            fields: vec![
+                ("forward".into(), FieldValue::U64(forward)),
+                ("backward".into(), FieldValue::U64(0)),
+                ("flops".into(), FieldValue::U64(flops)),
+                ("attack_steps".into(), FieldValue::U64(0)),
+            ],
+            meta: vec![("wall_us".into(), FieldValue::U64(wall))],
+            ctx: None,
+        }
+        .to_json_line()
+    }
+
+    fn u(k: &str, v: u64) -> (String, FieldValue) {
+        (k.to_string(), FieldValue::U64(v))
+    }
+
+    fn s(k: &str, v: &str) -> (String, FieldValue) {
+        (k.to_string(), FieldValue::Str(v.to_string()))
+    }
+
+    /// One orchestrator trace: sweep -> cell -> attempt, with the
+    /// attempt naming `cell_file` and carrying span id `attempt_id`.
+    fn orchestrator(cell_file: &str, attempt_id: u64) -> String {
+        [
+            open(0, "sweep", vec![u("cells", 1), u("budget", 2)], ctx(7, 0x10, None)),
+            open(1, "sweep/sweep/cell", vec![u("index", 0)], ctx(7, 0x11, Some(0x10))),
+            open(
+                2,
+                "sweep/sweep/cell/sweep/attempt",
+                vec![u("n", 1), s(TRACE_FILE_FIELD, cell_file)],
+                ctx(7, attempt_id, Some(0x11)),
+            ),
+            close(3, "sweep/sweep/cell/sweep/attempt", 0, 0, 50),
+            close(4, "sweep/sweep/cell", 0, 0, 60),
+            close(5, "sweep", 0, 0, 70),
+        ]
+        .join("\n")
+    }
+
+    /// One cell trace: train with two epochs, remote-parented on
+    /// `attempt_id`.
+    fn cell_trace(attempt_id: u64) -> String {
+        [
+            open(0, "train", vec![u("epochs", 2)], ctx(7, 0x31, Some(attempt_id))),
+            open(1, "train/epoch", vec![u("index", 0)], ctx(7, 0x32, Some(0x31))),
+            close(2, "train/epoch", 4, 400, 10),
+            open(3, "train/epoch", vec![u("index", 1)], ctx(7, 0x33, Some(0x31))),
+            close(4, "train/epoch", 4, 400, 12),
+            close(5, "train", 8, 800, 30),
+        ]
+        .join("\n")
+    }
+
+    fn files(pairs: &[(&str, String)]) -> Vec<(String, String)> {
+        pairs.iter().map(|(n, t)| (n.to_string(), t.clone())).collect()
+    }
+
+    #[test]
+    fn stitches_a_cell_under_its_attempt_span() {
+        let inputs = files(&[
+            ("orchestrator.001.jsonl", orchestrator("cell-000.attempt001.jsonl", 0x12)),
+            ("cell-000.attempt001.jsonl", cell_trace(0x12)),
+        ]);
+        let assembly = assemble(&inputs).expect("assembles");
+        assert!(assembly.orphans.is_empty());
+        assert!(assembly.salvaged.is_empty());
+        assert_eq!(assembly.crashed_spans, 0);
+
+        let tree = build_tree(&assembly.events).expect("balanced");
+        assert_eq!(tree.roots.len(), 1, "single campaign root");
+        let campaign = &tree.roots[0];
+        assert_eq!(campaign.name, CAMPAIGN_ROOT);
+        let sweep = &campaign.children[0];
+        let cell = &sweep.children[0];
+        let attempt = &cell.children[0];
+        assert_eq!(attempt.name, "sweep/attempt");
+        let train = &attempt.children[0];
+        assert_eq!(train.name, "train");
+        assert_eq!(train.children.len(), 2);
+
+        // Cost re-rollup: the grafted train's counters propagate into
+        // the attempt AND its in-file ancestors.
+        assert_eq!(train.total.forward, 8);
+        assert_eq!(attempt.total.forward, 8);
+        assert_eq!(cell.total.forward, 8);
+        assert_eq!(sweep.total.forward, 8);
+        assert_eq!(campaign.total.forward, 8);
+        // Walls accumulate too: attempt observed 50 plus train's 30.
+        assert_eq!(attempt.total.wall_us, 80);
+    }
+
+    #[test]
+    fn assembly_is_input_order_invariant_and_renumbered() {
+        let a = files(&[
+            ("orchestrator.001.jsonl", orchestrator("cell-000.attempt001.jsonl", 0x12)),
+            ("cell-000.attempt001.jsonl", cell_trace(0x12)),
+        ]);
+        let b: Vec<(String, String)> = a.iter().rev().cloned().collect();
+        let ea = assemble(&a).expect("a").events;
+        let eb = assemble(&b).expect("b").events;
+        assert_eq!(ea, eb, "sorted-name processing makes order irrelevant");
+        for (i, ev) in ea.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64, "renumbered densely");
+        }
+    }
+
+    #[test]
+    fn orphan_attempts_get_explicit_synthetic_nodes() {
+        // The cell file exists but is empty: killed before first flush.
+        let inputs = files(&[
+            ("orchestrator.001.jsonl", orchestrator("cell-000.attempt001.jsonl", 0x12)),
+            ("cell-000.attempt001.jsonl", String::new()),
+        ]);
+        let assembly = assemble(&inputs).expect("assembles");
+        assert_eq!(assembly.orphans, vec!["cell-000.attempt001.jsonl".to_string()]);
+        let tree = build_tree(&assembly.events).expect("balanced");
+        let attempt = &tree.roots[0].children[0].children[0].children[0];
+        let orphan = &attempt.children[0];
+        assert_eq!(orphan.name, ORPHAN_NAME);
+        assert!(field_bool(&orphan.fields, SYNTHETIC_FIELD));
+        assert_eq!(field_str(&orphan.fields, TRACE_FILE_FIELD), Some("cell-000.attempt001.jsonl"));
+
+        // A missing file (never created) is an orphan too.
+        let inputs =
+            files(&[("orchestrator.001.jsonl", orchestrator("cell-000.attempt001.jsonl", 0x12))]);
+        let assembly = assemble(&inputs).expect("assembles");
+        assert_eq!(assembly.orphans.len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_and_unclosed_spans_marked_crashed() {
+        let mut torn = cell_trace(0x12);
+        // Drop the train close and leave a half-written line behind.
+        let keep: Vec<&str> = torn.lines().take(5).collect();
+        torn = format!("{}\n{{\"seq\":5,\"kind\":\"span_cl", keep.join("\n"));
+        let inputs = files(&[
+            ("orchestrator.001.jsonl", orchestrator("cell-000.attempt001.jsonl", 0x12)),
+            ("cell-000.attempt001.jsonl", torn),
+        ]);
+        let assembly = assemble(&inputs).expect("assembles despite the tear");
+        assert_eq!(assembly.salvaged, vec!["cell-000.attempt001.jsonl".to_string()]);
+        assert_eq!(assembly.crashed_spans, 1);
+        assert!(assembly.orphans.is_empty(), "partial events are not an orphan");
+
+        let tree = build_tree(&assembly.events).expect("auto-closed into balance");
+        let attempt = &tree.roots[0].children[0].children[0].children[0];
+        let train = &attempt.children[0];
+        assert!(field_bool(&train.fields, CRASHED_FIELD));
+        // A crashed span totals its completed children.
+        assert_eq!(train.total.forward, 8);
+    }
+
+    #[test]
+    fn remote_request_spans_reparent_under_their_client() {
+        // Client process: one loadgen span that carried its context to
+        // the server in a header.
+        let client =
+            [open(0, "loadgen", Vec::new(), ctx(9, 0xAA, None)), close(1, "loadgen", 0, 0, 5)]
+                .join("\n");
+        // Server process: the batch executes the request, but the
+        // request span records the client as its remote parent.
+        let server = [
+            open(0, "serve/batch", vec![u("size", 1)], ctx(9, 0xB0, None)),
+            open(
+                1,
+                "serve/batch/serve/request",
+                vec![u("prediction", 3)],
+                ctx(9, 0xB1, Some(0xAA)),
+            ),
+            close(2, "serve/batch/serve/request", 0, 0, 2),
+            close(3, "serve/batch", 1, 100, 9),
+        ]
+        .join("\n");
+        let inputs = files(&[("client.jsonl", client), ("server.jsonl", server)]);
+        let assembly = assemble(&inputs).expect("assembles");
+        let tree = build_tree(&assembly.events).expect("balanced");
+        let campaign = &tree.roots[0];
+        let loadgen = campaign
+            .children
+            .iter()
+            .find(|n| n.name == "loadgen")
+            .expect("loadgen stays top-level");
+        assert_eq!(loadgen.children.len(), 1, "request moved under its client");
+        assert_eq!(loadgen.children[0].name, "serve/request");
+        let batch = campaign
+            .children
+            .iter()
+            .find(|n| n.name == "serve/batch")
+            .expect("batch stays top-level");
+        assert!(batch.children.is_empty(), "request left the batch");
+        // The move subtracts the request's observed cost from the batch
+        // and credits the client.
+        assert_eq!(batch.total.wall_us, 9 - 2);
+        assert_eq!(loadgen.total.wall_us, 5 + 2);
+    }
+
+    #[test]
+    fn empty_input_is_typed() {
+        assert_eq!(assemble(&[]), Err(ObsError::EmptyTrace));
+        let inputs = files(&[("a.jsonl", String::new())]);
+        assert_eq!(assemble(&inputs), Err(ObsError::EmptyTrace));
+    }
+
+    #[test]
+    fn interior_corruption_names_the_file() {
+        let text = format!("not json\n{}", close(1, "x", 0, 0, 0));
+        let inputs = files(&[("bad.jsonl", text)]);
+        match assemble(&inputs) {
+            Err(ObsError::Parse { message, .. }) => assert!(message.contains("bad.jsonl")),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    /// An uninterrupted one-cell campaign and a chaos-killed-and-
+    /// resumed one (first attempt dies mid-epoch-1, retry resumes and
+    /// re-runs epoch 1 bitwise-identically) normalize to the same
+    /// events.
+    #[test]
+    fn normalize_converges_chaos_to_uninterrupted() {
+        let uninterrupted = files(&[
+            ("orchestrator.001.jsonl", orchestrator("cell-000.attempt001.jsonl", 0x12)),
+            (
+                "cell-000.attempt001.jsonl",
+                [
+                    open(0, "train", vec![u("epochs", 2)], ctx(7, 0x31, Some(0x12))),
+                    open(1, "train/epoch", vec![u("index", 0)], ctx(7, 0x32, Some(0x31))),
+                    open(
+                        2,
+                        "train/epoch/checkpoint/save",
+                        vec![u("generation", 1)],
+                        ctx(7, 0x39, Some(0x32)),
+                    ),
+                    close(3, "train/epoch/checkpoint/save", 0, 0, 1),
+                    close(4, "train/epoch", 4, 400, 10),
+                    open(5, "train/epoch", vec![u("index", 1)], ctx(7, 0x33, Some(0x31))),
+                    close(6, "train/epoch", 4, 400, 12),
+                    close(7, "train", 8, 800, 30),
+                    open(8, "eval", vec![s("attack", "bim")], ctx(7, 0x34, Some(0x12))),
+                    close(9, "eval", 2, 200, 8),
+                ]
+                .join("\n"),
+            ),
+        ]);
+
+        // Chaos: attempt 1 closes epoch 0 (with a different checkpoint
+        // generation) and dies inside epoch 1; the orchestrator crashes
+        // too and a second incarnation retries the cell.
+        let chaos = files(&[
+            (
+                "orchestrator.001.jsonl",
+                [
+                    open(0, "sweep", vec![u("cells", 1), u("budget", 2)], ctx(7, 0x10, None)),
+                    open(1, "sweep/sweep/cell", vec![u("index", 0)], ctx(7, 0x11, Some(0x10))),
+                    open(
+                        2,
+                        "sweep/sweep/cell/sweep/attempt",
+                        vec![u("n", 1), s(TRACE_FILE_FIELD, "cell-000.attempt001.jsonl")],
+                        ctx(7, 0x12, Some(0x11)),
+                    ),
+                ]
+                .join("\n"),
+            ),
+            (
+                "cell-000.attempt001.jsonl",
+                [
+                    open(0, "train", vec![u("epochs", 2)], ctx(7, 0x41, Some(0x12))),
+                    open(1, "train/epoch", vec![u("index", 0)], ctx(7, 0x42, Some(0x41))),
+                    open(
+                        2,
+                        "train/epoch/checkpoint/save",
+                        vec![u("generation", 1)],
+                        ctx(7, 0x49, Some(0x42)),
+                    ),
+                    close(3, "train/epoch/checkpoint/save", 0, 0, 1),
+                    close(4, "train/epoch", 4, 400, 11),
+                    open(5, "train/epoch", vec![u("index", 1)], ctx(7, 0x43, Some(0x41))),
+                ]
+                .join("\n"),
+            ),
+            (
+                "orchestrator.002.jsonl",
+                [
+                    open(0, "sweep", vec![u("cells", 1), u("budget", 2)], ctx(7, 0x10, None)),
+                    open(1, "sweep/sweep/cell", vec![u("index", 0)], ctx(7, 0x11, Some(0x10))),
+                    open(
+                        2,
+                        "sweep/sweep/cell/sweep/attempt",
+                        vec![u("n", 2), s(TRACE_FILE_FIELD, "cell-000.attempt002.jsonl")],
+                        ctx(7, 0x12, Some(0x11)),
+                    ),
+                    close(3, "sweep/sweep/cell/sweep/attempt", 0, 0, 40),
+                    close(4, "sweep/sweep/cell", 0, 0, 45),
+                    close(5, "sweep", 0, 0, 50),
+                ]
+                .join("\n"),
+            ),
+            (
+                "cell-000.attempt002.jsonl",
+                [
+                    open(0, "train", vec![u("epochs", 2)], ctx(7, 0x51, Some(0x12))),
+                    open(
+                        1,
+                        "train/checkpoint",
+                        vec![s("action", "resume")],
+                        ctx(7, 0x52, Some(0x51)),
+                    ),
+                    close(2, "train/checkpoint", 0, 0, 2),
+                    // the resumed epoch 1 is bitwise-identical in its
+                    // logical content to the uninterrupted one
+                    open(3, "train/epoch", vec![u("index", 1)], ctx(7, 0x53, Some(0x51))),
+                    close(4, "train/epoch", 4, 400, 13),
+                    close(5, "train", 4, 400, 20),
+                    open(6, "eval", vec![s("attack", "bim")], ctx(7, 0x54, Some(0x12))),
+                    close(7, "eval", 2, 200, 9),
+                ]
+                .join("\n"),
+            ),
+        ]);
+
+        let a = assemble(&uninterrupted).expect("uninterrupted assembles");
+        let b = assemble(&chaos).expect("chaos assembles");
+        assert_ne!(a.events, b.events, "raw assemblies differ (attempts, crashes)");
+
+        let na = normalize(&a.events).expect("normalizes");
+        let nb = normalize(&b.events).expect("normalizes");
+        let la: Vec<String> = na.iter().map(Event::to_json_line).collect();
+        let lb: Vec<String> = nb.iter().map(Event::to_json_line).collect();
+        assert_eq!(la, lb, "normalized projections are byte-identical");
+
+        // The projection kept the full epoch set and the eval, dropped
+        // checkpoints, and carries no meta or ctx anywhere.
+        let tree = build_tree(&na).expect("balanced");
+        let attempt = &tree.roots[0].children[0].children[0].children[0];
+        let train = &attempt.children[0];
+        assert_eq!(train.children.len(), 2, "epochs 0 and 1, no checkpoint spans");
+        assert_eq!(field_u64(&train.children[0].fields, "index"), 0);
+        assert_eq!(field_u64(&train.children[1].fields, "index"), 1);
+        assert_eq!(train.total.forward, 8);
+        assert_eq!(attempt.children[1].name, "eval");
+        for ev in &na {
+            assert!(ev.meta.is_empty(), "normalized events carry no meta");
+            assert!(ev.ctx.is_none(), "normalized events carry no ctx");
+        }
+    }
+
+    #[test]
+    fn normalize_tolerates_a_bare_forest() {
+        let events = read_events(
+            &[open(0, "train", Vec::new(), None), close(1, "train", 3, 30, 4)].join("\n"),
+        )
+        .expect("reads");
+        let normed = normalize(&events).expect("normalizes");
+        let tree = build_tree(&normed).expect("balanced");
+        assert_eq!(tree.roots[0].name, CAMPAIGN_ROOT);
+        assert_eq!(tree.roots[0].children[0].name, "train");
+        assert_eq!(tree.roots[0].total.forward, 3);
+    }
+}

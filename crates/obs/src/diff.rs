@@ -193,6 +193,7 @@ mod tests {
             path: path.into(),
             fields: vec![("flops".into(), FieldValue::U64(flops))],
             meta: vec![("wall_us".into(), FieldValue::U64(wall))],
+            ctx: None,
         }
     }
 

@@ -143,6 +143,7 @@ mod tests {
             path: path.into(),
             fields: Vec::new(),
             meta: Vec::new(),
+            ctx: None,
         }
     }
 
@@ -153,6 +154,7 @@ mod tests {
             path: path.into(),
             fields: vec![("flops".into(), FieldValue::U64(wall * 10))],
             meta: vec![("wall_us".into(), FieldValue::U64(wall))],
+            ctx: None,
         }
     }
 

@@ -7,6 +7,12 @@
 //! * [`reader`] — strict JSONL loading with truncation-aware typed
 //!   errors ([`ObsError`]): a torn final line, an empty trace, and
 //!   unbalanced span pairs all degrade into diagnosable failures.
+//! * [`collector`] — cross-process campaign assembly: stitches the
+//!   per-attempt and orchestrator traces a `sweep --trace-dir` campaign
+//!   leaves behind into one rooted span tree (remote-parent links,
+//!   orphan markers for cells killed before their first flush), plus
+//!   the attempt-merging logical projection under which an interrupted
+//!   and resumed campaign is byte-identical to an uninterrupted one.
 //! * [`tree`] — span-tree reconstruction from `span_open`/`span_close`
 //!   nesting, per-span **total** vs **self** cost attribution (wall
 //!   microseconds plus the logical clock counters), and the hot-spot
@@ -44,6 +50,7 @@
 
 pub mod artifact;
 pub mod baseline;
+pub mod collector;
 pub mod diff;
 pub mod error;
 pub mod flame;
@@ -58,6 +65,7 @@ pub use baseline::{
     compare, logical_digest, BenchArtifact, BenchMeta, CompareOptions, CompareReport, ScaleInfo,
     TrainerCost, WallStats, BENCH_SCHEMA_VERSION,
 };
+pub use collector::{assemble, normalize, Assembly};
 pub use diff::{diff, DiffOptions, DiffReport};
 pub use error::ObsError;
 pub use flame::{collapse, parse_collapsed, prefix_totals, render_collapsed, FlameWeight};

@@ -45,7 +45,8 @@ mod tests {
     use simpadv_trace::EventKind;
 
     fn line(seq: u64, kind: EventKind, path: &str) -> String {
-        Event { seq, kind, path: path.into(), fields: Vec::new(), meta: Vec::new() }.to_json_line()
+        Event { seq, kind, path: path.into(), fields: Vec::new(), meta: Vec::new(), ctx: None }
+            .to_json_line()
     }
 
     #[test]

@@ -341,6 +341,7 @@ mod tests {
             path: path.into(),
             fields: Vec::new(),
             meta: Vec::new(),
+            ctx: None,
         }
     }
 
@@ -356,6 +357,7 @@ mod tests {
                 ("attack_steps".into(), FieldValue::U64(0)),
             ],
             meta: vec![("wall_us".into(), FieldValue::U64(wall))],
+            ctx: None,
         }
     }
 

@@ -28,7 +28,7 @@ use simpadv_nn::{Classifier, GradientModel};
 use simpadv_resilience::CheckpointStore;
 use simpadv_tensor::Tensor;
 use simpadv_trace::clock::WallTimer;
-use simpadv_trace::FieldValue;
+use simpadv_trace::{FieldValue, TraceContext};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -72,6 +72,10 @@ struct Pending {
     request: PredictRequest,
     timer: WallTimer,
     slot: std::sync::Arc<ResponseSlot>,
+    /// Caller's trace context (from `X-Simpadv-Traceparent`), carried
+    /// through coalescing so the request span opens under the remote
+    /// parent even though a dispatcher thread executes it.
+    remote: Option<TraceContext>,
 }
 
 /// Locks a mutex, recovering from poisoning: the engine's shared state
@@ -167,6 +171,22 @@ impl Engine {
     /// request was NOT enqueued), [`ServeError::BadRequest`] on a wrong
     /// pixel count, [`ServeError::ShuttingDown`] during drain.
     pub fn submit(&self, request: PredictRequest) -> Result<PredictResponse, ServeError> {
+        self.submit_traced(request, None)
+    }
+
+    /// [`Engine::submit`] with the caller's propagated trace context
+    /// attached: the answered request's `serve/request` span opens under
+    /// `remote` instead of the server's own span chain, stitching the
+    /// request into the caller's campaign tree.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::submit`].
+    pub fn submit_traced(
+        &self,
+        request: PredictRequest,
+        remote: Option<TraceContext>,
+    ) -> Result<PredictResponse, ServeError> {
         self.validate(&request)?;
         let slot =
             std::sync::Arc::new(ResponseSlot { result: Mutex::new(None), ready: Condvar::new() });
@@ -185,6 +205,7 @@ impl Engine {
                 request,
                 timer: WallTimer::start(),
                 slot: std::sync::Arc::clone(&slot),
+                remote,
             });
         }
         self.queue_cv.notify_all();
@@ -221,7 +242,8 @@ impl Engine {
         let mut out = Vec::with_capacity(requests.len());
         for chunk in requests.chunks(self.cfg.batch_max.max(1)) {
             let timers: Vec<WallTimer> = chunk.iter().map(|_| WallTimer::start()).collect();
-            out.extend(self.forward_batch(chunk, &timers));
+            let remotes = vec![None; chunk.len()];
+            out.extend(self.forward_batch(chunk, &timers, &remotes));
         }
         Ok(out)
     }
@@ -380,7 +402,8 @@ impl Engine {
     fn dispatch(&self, batch: Vec<Pending>) {
         let requests: Vec<PredictRequest> = batch.iter().map(|p| p.request.clone()).collect();
         let timers: Vec<WallTimer> = batch.iter().map(|p| p.timer).collect();
-        let responses = self.forward_batch(&requests, &timers);
+        let remotes: Vec<Option<TraceContext>> = batch.iter().map(|p| p.remote).collect();
+        let responses = self.forward_batch(&requests, &timers, &remotes);
         for (pending, response) in batch.into_iter().zip(responses) {
             deliver(&pending.slot, Ok(response));
         }
@@ -393,6 +416,7 @@ impl Engine {
         &self,
         requests: &[PredictRequest],
         timers: &[WallTimer],
+        remotes: &[Option<TraceContext>],
     ) -> Vec<PredictResponse> {
         let n = requests.len();
         let mut pixels = Vec::with_capacity(n * self.input_len);
@@ -415,11 +439,17 @@ impl Engine {
             let prediction = predictions[i];
             let row = logits.row(i).into_vec();
             let correct = request.label.map(|l| l == prediction);
-            let request_span = simpadv_trace::span!(
+            // Opened via span_with_remote so a propagated client
+            // context re-parents the span under the caller; without a
+            // remote this is identical to the span! macro.
+            let request_span = simpadv_trace::span_with_remote(
                 "serve/request",
-                generation = generation,
-                adversarial = request.adversarial,
-                prediction = prediction as u64
+                vec![
+                    ("generation".to_string(), FieldValue::U64(generation)),
+                    ("adversarial".to_string(), FieldValue::Bool(request.adversarial)),
+                    ("prediction".to_string(), FieldValue::U64(prediction as u64)),
+                ],
+                remotes.get(i).copied().flatten(),
             );
             drop(request_span);
             let mut fields: Vec<(&str, FieldValue)> = vec![

@@ -10,7 +10,7 @@
 use crate::batcher::SwapReport;
 use crate::error::ServeError;
 use crate::protocol::{
-    read_response, write_request, HealthBody, HttpResponse, PredictRequest, PredictResponse,
+    read_response, write_request_traced, HealthBody, HttpResponse, PredictRequest, PredictResponse,
     RejectBody,
 };
 use crate::stats::StatsSnapshot;
@@ -107,7 +107,11 @@ pub fn predict_with_retry(
 pub fn predict(addr: &str, request: &PredictRequest) -> Result<PredictOutcome, ServeError> {
     let body = serde_json::to_string(request)
         .map_err(|e| ServeError::BadRequest(format!("encode request: {e}")))?;
-    let response = roundtrip(addr, "POST", "/predict", &body)?;
+    // When the caller is inside a traced span, the request carries its
+    // context so the server-side request span hangs under it in the
+    // assembled campaign tree. Uncorrelated callers add no header.
+    let traceparent = simpadv_trace::current_context().map(|ctx| ctx.encode());
+    let response = roundtrip(addr, "POST", "/predict", traceparent.as_deref(), &body)?;
     match response.status {
         200 => Ok(PredictOutcome::Predicted(parse_body(&response)?)),
         503 => Ok(PredictOutcome::Rejected(parse_body(&response)?)),
@@ -121,7 +125,7 @@ pub fn predict(addr: &str, request: &PredictRequest) -> Result<PredictOutcome, S
 ///
 /// [`ServeError::Io`] on connection failures or non-200 answers.
 pub fn healthz(addr: &str) -> Result<HealthBody, ServeError> {
-    let response = roundtrip(addr, "GET", "/healthz", "")?;
+    let response = roundtrip(addr, "GET", "/healthz", None, "")?;
     match response.status {
         200 => parse_body(&response),
         status => Err(status_error(status, &response)),
@@ -134,7 +138,7 @@ pub fn healthz(addr: &str) -> Result<HealthBody, ServeError> {
 ///
 /// [`ServeError::Io`] on connection failures or non-200 answers.
 pub fn stats(addr: &str) -> Result<StatsSnapshot, ServeError> {
-    let response = roundtrip(addr, "GET", "/stats", "")?;
+    let response = roundtrip(addr, "GET", "/stats", None, "")?;
     match response.status {
         200 => parse_body(&response),
         status => Err(status_error(status, &response)),
@@ -148,7 +152,7 @@ pub fn stats(addr: &str) -> Result<StatsSnapshot, ServeError> {
 /// [`ServeError::Io`] on connection failures or non-200 answers,
 /// [`ServeError::BadRequest`] on a non-UTF-8 body.
 pub fn metrics(addr: &str) -> Result<String, ServeError> {
-    let response = roundtrip(addr, "GET", "/metrics", "")?;
+    let response = roundtrip(addr, "GET", "/metrics", None, "")?;
     match response.status {
         200 => String::from_utf8(response.body)
             .map_err(|e| ServeError::BadRequest(format!("non-UTF-8 metrics body: {e}"))),
@@ -162,7 +166,7 @@ pub fn metrics(addr: &str) -> Result<String, ServeError> {
 ///
 /// [`ServeError::Io`] on connection failures or non-200 answers.
 pub fn rescan(addr: &str) -> Result<SwapReport, ServeError> {
-    let response = roundtrip(addr, "POST", "/rescan", "")?;
+    let response = roundtrip(addr, "POST", "/rescan", None, "")?;
     match response.status {
         200 => parse_body(&response),
         status => Err(status_error(status, &response)),
@@ -192,12 +196,18 @@ pub fn wait_ready(addr: &str, timeout_us: u64) -> Result<HealthBody, ServeError>
 }
 
 /// One request/response exchange on a fresh connection.
-fn roundtrip(addr: &str, method: &str, path: &str, body: &str) -> Result<HttpResponse, ServeError> {
+fn roundtrip(
+    addr: &str,
+    method: &str,
+    path: &str,
+    traceparent: Option<&str>,
+    body: &str,
+) -> Result<HttpResponse, ServeError> {
     let stream =
         TcpStream::connect(addr).map_err(|e| ServeError::Io(format!("connect {addr}: {e}")))?;
     let mut writer =
         stream.try_clone().map_err(|e| ServeError::Io(format!("clone stream: {e}")))?;
-    write_request(&mut writer, method, path, body.as_bytes())
+    write_request_traced(&mut writer, method, path, traceparent, body.as_bytes())
         .map_err(|e| ServeError::Io(format!("write: {e}")))?;
     read_response(&mut BufReader::new(stream))
 }

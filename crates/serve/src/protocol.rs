@@ -69,6 +69,12 @@ pub struct HealthBody {
     pub method: String,
 }
 
+/// Request header carrying the client's trace context (the traceparent
+/// encoding of [`simpadv_trace::TraceContext`]). The server opens each
+/// request span with this as its remote parent, so a traced request
+/// hangs under the client's span in the assembled campaign tree.
+pub const TRACEPARENT_HEADER: &str = "X-Simpadv-Traceparent";
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HttpRequest {
@@ -78,6 +84,8 @@ pub struct HttpRequest {
     pub path: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Raw value of [`TRACEPARENT_HEADER`], when the client sent one.
+    pub traceparent: Option<String>,
 }
 
 /// A parsed HTTP response (client side).
@@ -109,9 +117,9 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequest>, S
     if method.is_empty() || path.is_empty() {
         return Err(ServeError::BadRequest(format!("malformed request line: {line:?}")));
     }
-    let content_length = read_headers(reader)?;
-    let body = read_body(reader, content_length)?;
-    Ok(Some(HttpRequest { method, path, body }))
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, headers.content_length)?;
+    Ok(Some(HttpRequest { method, path, body, traceparent: headers.traceparent }))
 }
 
 /// Reads one HTTP response off a buffered stream (client side).
@@ -132,8 +140,8 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<HttpResponse, ServeEr
     if !version.starts_with("HTTP/") {
         return Err(ServeError::BadRequest(format!("malformed status line: {line:?}")));
     }
-    let content_length = read_headers(reader)?;
-    let body = read_body(reader, content_length)?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, headers.content_length)?;
     Ok(HttpResponse { status, body })
 }
 
@@ -185,11 +193,27 @@ pub fn write_request<W: Write>(
     path: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    write!(
-        writer,
-        "{method} {path} HTTP/1.1\r\nHost: simpadv\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    )?;
+    write_request_traced(writer, method, path, None, body)
+}
+
+/// [`write_request`] with an optional [`TRACEPARENT_HEADER`] carrying
+/// the caller's trace context to the server.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_request_traced<W: Write>(
+    writer: &mut W,
+    method: &str,
+    path: &str,
+    traceparent: Option<&str>,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(writer, "{method} {path} HTTP/1.1\r\nHost: simpadv\r\n")?;
+    if let Some(value) = traceparent {
+        write!(writer, "{TRACEPARENT_HEADER}: {value}\r\n")?;
+    }
+    write!(writer, "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n", body.len())?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -207,23 +231,32 @@ fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, ServeError> {
     Ok(Some(line))
 }
 
-/// Consumes header lines up to the blank separator, returning the
-/// parsed `Content-Length` (0 when absent).
-fn read_headers<R: BufRead>(reader: &mut R) -> Result<usize, ServeError> {
-    let mut content_length = 0usize;
+/// The interpreted subset of a header block.
+struct Headers {
+    content_length: usize,
+    traceparent: Option<String>,
+}
+
+/// Consumes header lines up to the blank separator, interpreting
+/// `Content-Length` (0 when absent) and [`TRACEPARENT_HEADER`].
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<Headers, ServeError> {
+    let mut headers = Headers { content_length: 0, traceparent: None };
     loop {
         let line = match read_line(reader)? {
             None => return Err(ServeError::BadRequest("truncated headers".to_string())),
             Some(line) => line,
         };
         if line.is_empty() {
-            return Ok(content_length);
+            return Ok(headers);
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                headers.content_length = value.trim().parse().map_err(|_| {
                     ServeError::BadRequest(format!("bad content-length: {value:?}"))
                 })?;
+            } else if name.eq_ignore_ascii_case(TRACEPARENT_HEADER) {
+                headers.traceparent = Some(value.trim().to_string());
             }
         }
     }
@@ -286,6 +319,25 @@ mod tests {
         for (a, b) in back.logits.iter().zip(resp.logits.iter()) {
             assert_eq!(a.to_bits(), b.to_bits(), "logits must round-trip bitwise");
         }
+    }
+
+    #[test]
+    fn traceparent_header_round_trips_and_defaults_to_none() {
+        let mut wire = Vec::new();
+        write_request_traced(&mut wire, "POST", "/predict", Some("00-ab-cd-01"), b"{}").unwrap();
+        let parsed = read_request(&mut BufReader::new(wire.as_slice())).unwrap().unwrap();
+        assert_eq!(parsed.traceparent.as_deref(), Some("00-ab-cd-01"));
+        assert_eq!(parsed.body, b"{}");
+
+        // Header name matching is case-insensitive.
+        let wire = b"POST /p HTTP/1.1\r\nx-simpadv-traceparent: tp\r\nContent-Length: 0\r\n\r\n";
+        let parsed = read_request(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert_eq!(parsed.traceparent.as_deref(), Some("tp"));
+
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/healthz", b"").unwrap();
+        let parsed = read_request(&mut BufReader::new(wire.as_slice())).unwrap().unwrap();
+        assert_eq!(parsed.traceparent, None);
     }
 
     #[test]

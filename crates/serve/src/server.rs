@@ -215,8 +215,13 @@ fn respond(writer: &mut TcpStream, engine: &Arc<Engine>, request: &HttpRequest) 
             let parsed: Result<PredictRequest, _> = std::str::from_utf8(&request.body)
                 .map_err(|e| e.to_string())
                 .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()));
+            // A malformed traceparent degrades to an uncorrelated
+            // request rather than a 400: tracing is observability, not
+            // part of the request contract.
+            let remote =
+                request.traceparent.as_deref().and_then(simpadv_trace::TraceContext::parse);
             match parsed {
-                Ok(req) => match engine.submit(req) {
+                Ok(req) => match engine.submit_traced(req, remote) {
                     Ok(resp) => send_json(writer, 200, "OK", &resp),
                     Err(ServeError::Rejected { capacity }) => {
                         let body = RejectBody {

@@ -50,6 +50,7 @@ pub struct Campaign {
     dir: PathBuf,
     store: ManifestStore,
     manifest: CampaignManifest,
+    trace_dir: Option<PathBuf>,
 }
 
 /// Where a cell's durable files live: `<dir>/cells/<id>/`.
@@ -76,7 +77,7 @@ impl Campaign {
         }
         let manifest = CampaignManifest::new(config)?;
         store.save(&manifest)?;
-        Ok(Campaign { dir: dir.to_path_buf(), store, manifest })
+        Ok(Campaign { dir: dir.to_path_buf(), store, manifest, trace_dir: None })
     }
 
     /// Reopens a campaign from its newest valid manifest generation.
@@ -89,7 +90,17 @@ impl Campaign {
         let Some((_, manifest)) = store.load_latest()? else {
             return Err(SweepError::NothingToResume(dir.display().to_string()));
         };
-        Ok(Campaign { dir: dir.to_path_buf(), store, manifest })
+        Ok(Campaign { dir: dir.to_path_buf(), store, manifest, trace_dir: None })
+    }
+
+    /// Enables cross-process campaign tracing: each cell attempt writes
+    /// its own JSONL trace under `dir`, stitched to the orchestrator's
+    /// trace through the attempt span's context (injected into the
+    /// child's environment as `SIMPADV_TRACEPARENT`). The caller is
+    /// expected to have installed the orchestrator's own sink in the
+    /// same directory.
+    pub fn set_trace_dir(&mut self, dir: &Path) {
+        self.trace_dir = Some(dir.to_path_buf());
     }
 
     /// Read access to the current manifest (tests, status display).
@@ -115,6 +126,16 @@ impl Campaign {
         out: &Path,
         progress: &mut dyn Write,
     ) -> Result<SweepArtifact, SweepError> {
+        // With a trace directory, the campaign is the root of a
+        // cross-process trace whose id is a pure function of the grid
+        // seed — a resumed orchestrator regrows the same trace id, so
+        // its spans land in the same campaign tree.
+        if self.trace_dir.is_some() {
+            simpadv_trace::set_trace_root(simpadv_trace::context::derive_trace_id(
+                "sweep",
+                self.manifest.config.grid.seed,
+            ));
+        }
         let _campaign_span = simpadv_trace::span!(
             "sweep",
             cells = self.manifest.cells.len() as u64,
@@ -202,19 +223,45 @@ impl Campaign {
             simpadv_trace::counter("sweep/spawns", 1);
 
             let attempt = self.manifest.cells[i].attempts;
-            let _attempt_span = simpadv_trace::span!("sweep/attempt", n = u64::from(attempt));
+            // Attempt numbers are charged-at-spawn and never reused, so
+            // the per-attempt trace file name is collision-free even
+            // across orchestrator crashes and resumes.
+            let trace_file = self.trace_dir.as_ref().map(|d| {
+                let name = format!("{cell_id}.attempt{attempt:03}.jsonl");
+                let path = d.join(&name);
+                (name, path)
+            });
+            // The trace_file field is the collector's orphan detector:
+            // an attempt span naming a trace that no stitched events
+            // arrived from is a cell that died before its first flush.
+            let attempt_span = match &trace_file {
+                Some((name, _)) => simpadv_trace::span!(
+                    "sweep/attempt",
+                    n = u64::from(attempt),
+                    trace_file = name.as_str()
+                ),
+                None => simpadv_trace::span!("sweep/attempt", n = u64::from(attempt)),
+            };
             let outcome = {
                 let spec = &self.manifest.cells[i].spec;
                 let dir = cell_dir(&self.dir, &spec.id);
                 std::fs::create_dir_all(&dir)
                     .map_err(|e| SweepError::Supervise(format!("create {}: {e}", dir.display())))?;
+                let mut child_env = Vec::new();
+                if let (Some((_, path)), Some(ctx)) = (&trace_file, attempt_span.context()) {
+                    child_env.push(("SIMPADV_TRACE".to_string(), path.display().to_string()));
+                    child_env.push(("SIMPADV_TRACE_FORMAT".to_string(), "jsonl".to_string()));
+                    child_env.push(("SIMPADV_TRACEPARENT".to_string(), ctx.encode()));
+                }
                 let supervision = Supervision {
                     deadline_us: self.manifest.config.cell_deadline_us,
                     kill_after_us: chaos.next_kill_after_us(),
                     child_failpoints: chaos.child_failpoints().map(str::to_string),
+                    child_env,
                 };
                 run_cell(command, &self.cell_args(i), &supervision)?
             };
+            drop(attempt_span);
 
             let report_path = cell_dir(&self.dir, &cell_id).join("report.json");
             // Exit 0 alone is not completion: the report must exist and

@@ -63,6 +63,10 @@ pub struct Supervision {
     pub kill_after_us: Option<u64>,
     /// Chaos: `SIMPADV_FAILPOINTS` value injected into the child.
     pub child_failpoints: Option<String>,
+    /// Extra environment for the child, applied *after* the scrub —
+    /// the orchestrator's deliberate injections (per-attempt trace file
+    /// and traceparent) rather than accidental inheritance.
+    pub child_env: Vec<(String, String)>,
 }
 
 /// Spawns one attempt and supervises it to completion.
@@ -90,9 +94,14 @@ pub fn run_cell(
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .env_remove("SIMPADV_FAILPOINTS")
-        .env_remove("SIMPADV_TRACE");
+        .env_remove("SIMPADV_TRACE")
+        .env_remove("SIMPADV_TRACE_FORMAT")
+        .env_remove("SIMPADV_TRACEPARENT");
     if let Some(points) = &supervision.child_failpoints {
         cmd.env("SIMPADV_FAILPOINTS", points);
+    }
+    for (key, value) in &supervision.child_env {
+        cmd.env(key, value);
     }
 
     let mut child = cmd
@@ -166,7 +175,12 @@ mod tests {
     }
 
     fn supervision(deadline_us: u64) -> Supervision {
-        Supervision { deadline_us, kill_after_us: None, child_failpoints: None }
+        Supervision {
+            deadline_us,
+            kill_after_us: None,
+            child_failpoints: None,
+            child_env: Vec::new(),
+        }
     }
 
     #[test]
@@ -197,6 +211,7 @@ mod tests {
             deadline_us: 10_000_000,
             kill_after_us: Some(20_000),
             child_failpoints: None,
+            child_env: Vec::new(),
         };
         assert_eq!(run_cell(&cmd, &args, &sup).unwrap(), CellOutcome::Killed);
     }
@@ -225,6 +240,27 @@ mod tests {
             deadline_us: 10_000_000,
             kill_after_us: None,
             child_failpoints: Some("probe=1".into()),
+            child_env: Vec::new(),
+        };
+        assert_eq!(run_cell(&cmd, &args, &sup).unwrap(), CellOutcome::Completed);
+    }
+
+    #[test]
+    fn injected_child_env_survives_the_scrub() {
+        // The scrub removes inherited trace settings...
+        let (cmd, args) = sh("test -z \"$SIMPADV_TRACE\" && test -z \"$SIMPADV_TRACEPARENT\"");
+        std::env::set_var("SIMPADV_TRACEPARENT", "inherited-not-wanted");
+        let outcome = run_cell(&cmd, &args, &supervision(10_000_000));
+        std::env::remove_var("SIMPADV_TRACEPARENT");
+        assert_eq!(outcome.unwrap(), CellOutcome::Completed);
+
+        // ...while deliberate per-attempt injections land after it.
+        let (cmd, args) = sh("test \"$SIMPADV_TRACE\" = /tmp/cell.jsonl");
+        let sup = Supervision {
+            deadline_us: 10_000_000,
+            kill_after_us: None,
+            child_failpoints: None,
+            child_env: vec![("SIMPADV_TRACE".into(), "/tmp/cell.jsonl".into())],
         };
         assert_eq!(run_cell(&cmd, &args, &sup).unwrap(), CellOutcome::Completed);
     }

@@ -1,0 +1,230 @@
+//! Cross-process trace identity: trace ids, span ids, and their
+//! propagation encoding.
+//!
+//! A campaign is many processes (the sweep orchestrator, its cell
+//! children, a serve client and server), each writing its own JSONL
+//! trace. [`TraceContext`] is the causal thread between them: a 128-bit
+//! trace id naming the campaign-wide trace, a 64-bit span id naming one
+//! span inside it, and an optional parent link. The context crosses
+//! process boundaries as a W3C-traceparent-style string — via the
+//! [`TRACEPARENT_ENV`] environment variable for spawned children, or an
+//! `X-Simpadv-Traceparent` header for serve requests — and the collector
+//! in `simpadv-obs` stitches the per-process traces back into one rooted
+//! campaign tree by following the parent links.
+//!
+//! # Determinism
+//!
+//! Nothing in this module touches entropy or wall clocks. Span ids are
+//! derived by [`derive_child`], a pure mix of the parent span id and the
+//! tracer's event sequence number at open time — and that sequence is
+//! thread-invariant (worker emission is suppressed), so the entire id
+//! chain of a campaign is bitwise reproducible across `--threads`
+//! settings and across crash/resume replays of the same logical events.
+//! Trace ids come from [`derive_trace_id`], a pure hash of a label and
+//! seed. Both functions are S2 taint sinks in `lint.toml`: the semantic
+//! pass rejects any call path feeding them wall-clock or entropy values.
+
+/// Environment variable carrying the parent context into spawned
+/// children (the sweep orchestrator sets it per cell attempt).
+pub const TRACEPARENT_ENV: &str = "SIMPADV_TRACEPARENT";
+
+/// Schema version of the `ctx` object embedded in trace events.
+pub const CONTEXT_SCHEMA_VERSION: u64 = 1;
+
+/// The identity of one span within a campaign-wide trace.
+///
+/// `parent` is the *remote-parent link*: the span id this span hangs
+/// under, which may live in a different process's trace file. `None`
+/// marks a campaign root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit id shared by every span of one campaign.
+    pub trace_id: u128,
+    /// 64-bit id of this span.
+    pub span_id: u64,
+    /// Span id of the parent, possibly in another process's trace.
+    pub parent: Option<u64>,
+}
+
+impl TraceContext {
+    /// Renders the context in the W3C traceparent layout:
+    /// `00-{trace_id:032x}-{span_id:016x}-01`.
+    ///
+    /// The parent link is deliberately not encoded — to a receiving
+    /// process, this context's `span_id` *is* the remote parent.
+    pub fn encode(&self) -> String {
+        format!("00-{:032x}-{:016x}-01", self.trace_id, self.span_id)
+    }
+
+    /// Parses a traceparent string produced by [`TraceContext::encode`].
+    ///
+    /// Strict by design: version `00`, lowercase hex, exact field
+    /// widths, flags `01`, and non-zero ids (all-zero ids are invalid in
+    /// the W3C layout). Anything else returns `None` and the receiver
+    /// simply runs uncorrelated rather than guessing.
+    pub fn parse(s: &str) -> Option<TraceContext> {
+        let parts: Vec<&str> = s.split('-').collect();
+        if parts.len() != 4 || parts[0] != "00" || parts[3] != "01" {
+            return None;
+        }
+        let trace_id = parse_hex_u128(parts[1], 32)?;
+        let span_id = parse_hex_u128(parts[2], 16)? as u64;
+        if trace_id == 0 || span_id == 0 {
+            return None;
+        }
+        Some(TraceContext { trace_id, span_id, parent: None })
+    }
+
+    /// Reads and parses [`TRACEPARENT_ENV`]; `None` when unset or
+    /// malformed.
+    pub fn from_env() -> Option<TraceContext> {
+        std::env::var(TRACEPARENT_ENV).ok().and_then(|v| TraceContext::parse(&v))
+    }
+}
+
+/// Parses exactly `width` lowercase hex digits.
+fn parse_hex_u128(s: &str, width: usize) -> Option<u128> {
+    if s.len() != width {
+        return None;
+    }
+    let mut value: u128 = 0;
+    for c in s.chars() {
+        let digit = match c {
+            '0'..='9' => c as u128 - '0' as u128,
+            'a'..='f' => c as u128 - 'a' as u128 + 10,
+            // Uppercase is rejected: encode() emits lowercase only, and
+            // a strict parse keeps round-trips bijective.
+            _ => return None,
+        };
+        value = (value << 4) | digit;
+    }
+    Some(value)
+}
+
+/// Derives a child span id from its parent's id and the tracer's event
+/// sequence number at open time.
+///
+/// A splitmix64-style finalizer over the pair: pure, entropy-free, and
+/// bitwise reproducible — the same (parent, seq) always yields the same
+/// id, which is what lets a resumed campaign regrow the identical id
+/// chain. Never returns zero (the invalid span id).
+pub fn derive_child(parent_span_id: u64, seq: u64) -> u64 {
+    let mut z = parent_span_id ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        // Vanishingly rare, but zero is reserved for "no id".
+        0x5143_5143_5143_5143
+    } else {
+        z
+    }
+}
+
+/// Derives a campaign trace id from a label and seed — e.g. the sweep
+/// verb and the grid seed — so re-running the same campaign config
+/// yields the same trace id. Pure FNV-1a over both inputs; never zero.
+pub fn derive_trace_id(label: &str, seed: u64) -> u128 {
+    let hi = fnv1a_64(label.as_bytes(), 0xCBF2_9CE4_8422_2325 ^ seed);
+    let lo = fnv1a_64(label.as_bytes(), 0x6C62_272E_07BB_0142 ^ seed.rotate_left(32));
+    let id = (u128::from(hi) << 64) | u128::from(lo);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// The derivation base for a campaign root span (a span with no parent):
+/// a fold of the trace id, so distinct campaigns root distinct id chains.
+pub fn root_parent(trace_id: u128) -> u64 {
+    let folded = ((trace_id >> 64) as u64) ^ (trace_id as u64);
+    if folded == 0 {
+        0x7A61_7A61_7A61_7A61
+    } else {
+        folded
+    }
+}
+
+/// FNV-1a with a caller-chosen offset basis (folds the seed in).
+fn fnv1a_64(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF, span_id: 0x1234, parent: Some(7) };
+        let s = ctx.encode();
+        assert_eq!(s, "00-000000000000000000000000deadbeef-0000000000001234-01");
+        let back = TraceContext::parse(&s).unwrap();
+        assert_eq!(back.trace_id, ctx.trace_id);
+        assert_eq!(back.span_id, ctx.span_id);
+        // The parent link does not survive the wire: the receiver's
+        // parent IS the encoded span.
+        assert_eq!(back.parent, None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "00",
+            "01-000000000000000000000000deadbeef-0000000000001234-01",
+            "00-000000000000000000000000deadbeef-0000000000001234-00",
+            "00-000000000000000000000000DEADBEEF-0000000000001234-01",
+            "00-00000000000000000000000000000000-0000000000001234-01",
+            "00-000000000000000000000000deadbeef-0000000000000000-01",
+            "00-deadbeef-1234-01",
+            "00-000000000000000000000000deadbeeg-0000000000001234-01",
+            "00-000000000000000000000000deadbeef-0000000000001234-01-extra",
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn derive_child_is_pure_and_nonzero() {
+        let a = derive_child(17, 42);
+        assert_eq!(a, derive_child(17, 42));
+        assert_ne!(a, 0);
+        assert_ne!(a, derive_child(17, 43));
+        assert_ne!(a, derive_child(18, 42));
+    }
+
+    #[test]
+    fn derive_trace_id_depends_on_label_and_seed() {
+        let a = derive_trace_id("sweep", 2019);
+        assert_eq!(a, derive_trace_id("sweep", 2019));
+        assert_ne!(a, 0);
+        assert_ne!(a, derive_trace_id("sweep", 2020));
+        assert_ne!(a, derive_trace_id("serve", 2019));
+    }
+
+    #[test]
+    fn env_roundtrip_via_traceparent_variable() {
+        let ctx = TraceContext { trace_id: 99, span_id: 5, parent: None };
+        std::env::set_var(TRACEPARENT_ENV, ctx.encode());
+        let back = TraceContext::from_env().unwrap();
+        std::env::remove_var(TRACEPARENT_ENV);
+        assert_eq!(back.trace_id, 99);
+        assert_eq!(back.span_id, 5);
+        assert_eq!(TraceContext::from_env(), None);
+    }
+
+    #[test]
+    fn root_parent_folds_and_avoids_zero() {
+        assert_ne!(root_parent(0), 0);
+        // hi == lo folds to zero, which must map to the sentinel.
+        assert_eq!(root_parent((1u128 << 64) | 1), 0x7A61_7A61_7A61_7A61);
+        assert_eq!(root_parent(3), 3);
+    }
+}

@@ -13,6 +13,7 @@
 //! pool utilisation). Comparing two traces for determinism means
 //! comparing events with `meta` stripped (see [`Event::without_meta`]).
 
+use crate::context::{TraceContext, CONTEXT_SCHEMA_VERSION};
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
@@ -196,6 +197,13 @@ pub struct Event {
     pub fields: Vec<(String, FieldValue)>,
     /// Non-logical payload — wall time, pool statistics.
     pub meta: Vec<(String, FieldValue)>,
+    /// Cross-process identity of a `SpanOpen` event, when the tracer has
+    /// a campaign context. Logical like `fields`: the ids derive from
+    /// the thread-invariant sequence, so they survive determinism
+    /// comparisons. Absent (and unserialized) for uncorrelated runs,
+    /// which keeps their traces byte-identical to the pre-context
+    /// schema.
+    pub ctx: Option<TraceContext>,
 }
 
 impl Event {
@@ -229,23 +237,96 @@ fn object_to_pairs(value: &Value, key: &str) -> Result<Vec<(String, FieldValue)>
     }
 }
 
+fn ctx_to_value(ctx: &TraceContext) -> Value {
+    let mut entries = vec![
+        ("v".to_string(), Value::U64(CONTEXT_SCHEMA_VERSION)),
+        ("trace".to_string(), Value::String(format!("{:032x}", ctx.trace_id))),
+        ("span".to_string(), Value::String(format!("{:016x}", ctx.span_id))),
+    ];
+    if let Some(parent) = ctx.parent {
+        entries.push(("parent".to_string(), Value::String(format!("{parent:016x}"))));
+    }
+    Value::Object(entries)
+}
+
+fn ctx_hex_u128(value: &Value, key: &str, width: usize) -> Result<u128, serde::Error> {
+    let Value::String(s) = value else {
+        return Err(serde::Error::custom(format!("ctx `{key}` must be a hex string")));
+    };
+    if s.len() != width || !s.chars().all(|c| c.is_ascii_digit() || ('a'..='f').contains(&c)) {
+        return Err(serde::Error::custom(format!(
+            "ctx `{key}` must be {width} lowercase hex digits, got {s:?}"
+        )));
+    }
+    u128::from_str_radix(s, 16)
+        .map_err(|e| serde::Error::custom(format!("ctx `{key}` out of range: {e}")))
+}
+
+fn ctx_from_value(value: &Value) -> Result<TraceContext, serde::Error> {
+    let Value::Object(entries) = value else {
+        return Err(serde::Error::custom("`ctx` must be an object"));
+    };
+    let mut version = None;
+    let mut trace = None;
+    let mut span = None;
+    let mut parent = None;
+    for (k, v) in entries {
+        match k.as_str() {
+            "v" => match v {
+                Value::U64(n) => version = Some(*n),
+                other => {
+                    return Err(serde::Error::custom(format!(
+                        "ctx `v` must be an integer, got {other:?}"
+                    )))
+                }
+            },
+            "trace" => trace = Some(ctx_hex_u128(v, "trace", 32)?),
+            "span" => span = Some(ctx_hex_u128(v, "span", 16)? as u64),
+            "parent" => parent = Some(ctx_hex_u128(v, "parent", 16)? as u64),
+            other => {
+                return Err(serde::Error::custom(format!("unknown ctx key `{other}`")));
+            }
+        }
+    }
+    match version {
+        Some(CONTEXT_SCHEMA_VERSION) => {}
+        Some(other) => {
+            return Err(serde::Error::custom(format!("unsupported ctx schema version {other}")))
+        }
+        None => return Err(serde::Error::custom("ctx missing `v`")),
+    }
+    Ok(TraceContext {
+        trace_id: trace.ok_or_else(|| serde::Error::custom("ctx missing `trace`"))?,
+        span_id: span.ok_or_else(|| serde::Error::custom("ctx missing `span`"))?,
+        parent,
+    })
+}
+
 impl Serialize for Event {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut entries = vec![
             ("seq".to_string(), Value::U64(self.seq)),
             ("kind".to_string(), Value::String(self.kind.as_str().to_string())),
             ("path".to_string(), Value::String(self.path.clone())),
             ("fields".to_string(), pairs_to_object(&self.fields)),
             ("meta".to_string(), pairs_to_object(&self.meta)),
-        ])
+        ];
+        // `ctx` is appended only when present, so context-free traces
+        // remain byte-identical to the pre-context schema.
+        if let Some(ctx) = &self.ctx {
+            entries.push(("ctx".to_string(), ctx_to_value(ctx)));
+        }
+        Value::Object(entries)
     }
 }
 
 impl Deserialize for Event {
-    /// Strict schema: exactly the five keys `seq`, `kind`, `path`,
-    /// `fields`, `meta`, with a known `kind` string. Anything else is an
-    /// error — `trace summarize` turns that into a non-zero exit, which
-    /// is what CI's schema check relies on.
+    /// Strict schema: the five keys `seq`, `kind`, `path`, `fields`,
+    /// `meta` (all required, with a known `kind` string) plus an
+    /// optional `ctx` object that is itself strictly validated (version
+    /// `v`, hex `trace`/`span`/`parent`, nothing else). Any other key is
+    /// an error — `trace summarize` turns that into a non-zero exit,
+    /// which is what CI's schema check relies on.
     fn from_value(value: &Value) -> Result<Self, serde::Error> {
         let Value::Object(entries) = value else {
             return Err(serde::Error::custom("event must be a JSON object"));
@@ -255,6 +336,7 @@ impl Deserialize for Event {
         let mut path = None;
         let mut fields = None;
         let mut meta = None;
+        let mut ctx = None;
         for (k, v) in entries {
             match k.as_str() {
                 "seq" => match v {
@@ -287,6 +369,7 @@ impl Deserialize for Event {
                 },
                 "fields" => fields = Some(object_to_pairs(v, "fields")?),
                 "meta" => meta = Some(object_to_pairs(v, "meta")?),
+                "ctx" => ctx = Some(ctx_from_value(v)?),
                 other => {
                     return Err(serde::Error::custom(format!("unknown event key `{other}`")));
                 }
@@ -298,6 +381,7 @@ impl Deserialize for Event {
             path: path.ok_or_else(|| serde::Error::custom("event missing `path`"))?,
             fields: fields.ok_or_else(|| serde::Error::custom("event missing `fields`"))?,
             meta: meta.ok_or_else(|| serde::Error::custom("event missing `meta`"))?,
+            ctx,
         })
     }
 }
@@ -318,6 +402,7 @@ mod tests {
                 ("ok".to_string(), FieldValue::Bool(true)),
             ],
             meta: vec![("wall_us".to_string(), FieldValue::U64(532))],
+            ctx: None,
         }
     }
 
@@ -341,6 +426,7 @@ mod tests {
                 path: "g".to_string(),
                 fields: vec![("value".to_string(), FieldValue::F64(v))],
                 meta: Vec::new(),
+                ctx: None,
             };
             let back: Event = serde_json::from_str(&ev.to_json_line()).unwrap();
             assert_eq!(back, ev, "value {v}");
@@ -378,6 +464,58 @@ mod tests {
         .is_err());
         // not an object
         assert!(serde_json::from_str::<Event>("[1,2]").is_err());
+    }
+
+    #[test]
+    fn ctx_roundtrips_and_is_optional() {
+        let mut ev = sample();
+        ev.kind = EventKind::SpanOpen;
+        ev.ctx = Some(TraceContext {
+            trace_id: 0xFEED_FACE_CAFE,
+            span_id: 0xABCD,
+            parent: Some(0x1234),
+        });
+        let line = ev.to_json_line();
+        assert!(line.contains("\"ctx\""));
+        assert!(line.contains("\"parent\""));
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, ev);
+        assert_eq!(back.to_json_line(), line);
+
+        // A root context omits the parent key entirely.
+        ev.ctx = Some(TraceContext { trace_id: 1, span_id: 2, parent: None });
+        let line = ev.to_json_line();
+        assert!(!line.contains("parent"));
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.ctx.unwrap().parent, None);
+
+        // No context, no ctx key: byte-identical to the old schema.
+        ev.ctx = None;
+        assert!(!ev.to_json_line().contains("ctx"));
+    }
+
+    #[test]
+    fn ctx_schema_violations_are_rejected() {
+        let prefix = r#"{"seq":0,"kind":"span_open","path":"p","fields":{},"meta":{},"#;
+        for bad in [
+            // missing version
+            r#""ctx":{"trace":"00000000000000000000000000000001","span":"0000000000000002"}}"#,
+            // wrong version
+            r#""ctx":{"v":9,"trace":"00000000000000000000000000000001","span":"0000000000000002"}}"#,
+            // unknown ctx key
+            r#""ctx":{"v":1,"trace":"00000000000000000000000000000001","span":"0000000000000002","x":1}}"#,
+            // wrong width
+            r#""ctx":{"v":1,"trace":"01","span":"0000000000000002"}}"#,
+            // uppercase hex
+            r#""ctx":{"v":1,"trace":"0000000000000000000000000000000A","span":"0000000000000002"}}"#,
+            // missing span
+            r#""ctx":{"v":1,"trace":"00000000000000000000000000000001"}}"#,
+            // not an object
+            r#""ctx":7}"#,
+        ] {
+            let line = format!("{prefix}{bad}");
+            assert!(serde_json::from_str::<Event>(&line).is_err(), "should reject {line}");
+        }
     }
 
     #[test]

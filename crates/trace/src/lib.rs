@@ -33,12 +33,14 @@
 //! [`TRACE_FORMAT_ENV`] environment variables.
 
 pub mod clock;
+pub mod context;
 pub mod event;
 pub mod histogram;
 pub mod sink;
 pub mod summary;
 
 pub use clock::{snapshot, ClockSnapshot};
+pub use context::{TraceContext, TRACEPARENT_ENV};
 pub use event::{Event, EventKind, FieldValue};
 pub use histogram::{Histogram, DEFAULT_BOUNDS};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, NullSink, PrettySink, Sink, TraceFormat};
@@ -57,10 +59,23 @@ pub const TRACE_ENV: &str = "SIMPADV_TRACE";
 /// `pretty`); defaults to JSONL.
 pub const TRACE_FORMAT_ENV: &str = "SIMPADV_TRACE_FORMAT";
 
+/// The process's place in a campaign-wide trace, when it has one.
+struct TraceState {
+    /// Trace id shared by every process of the campaign.
+    trace_id: u128,
+    /// Span id (possibly in another process) this process's top-level
+    /// spans hang under; `None` for the campaign root process.
+    remote_parent: Option<u64>,
+}
+
 struct State {
     sink: Box<dyn Sink>,
     seq: u64,
     stack: Vec<String>,
+    /// Span ids parallel to `stack`: the id assigned to each open span,
+    /// or 0 for spans opened without a campaign context.
+    span_ids: Vec<u64>,
+    trace: Option<TraceState>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -91,12 +106,80 @@ fn state() -> &'static Mutex<State> {
                 }
             }
         }
-        Mutex::new(State { sink: boxed, seq: 0, stack: Vec::new(), histograms: BTreeMap::new() })
+        Mutex::new(State {
+            sink: boxed,
+            seq: 0,
+            stack: Vec::new(),
+            span_ids: Vec::new(),
+            trace: trace_state_from_env(),
+            histograms: BTreeMap::new(),
+        })
     })
 }
 
 fn lock_state() -> std::sync::MutexGuard<'static, State> {
     state().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Adopts [`TRACEPARENT_ENV`] (set by a spawning orchestrator) as this
+/// process's campaign membership: its span id is the remote parent for
+/// every top-level span emitted here.
+fn trace_state_from_env() -> Option<TraceState> {
+    TraceContext::from_env()
+        .map(|ctx| TraceState { trace_id: ctx.trace_id, remote_parent: Some(ctx.span_id) })
+}
+
+/// Makes this process the root of a fresh campaign trace: top-level
+/// spans carry `trace_id` with no parent link. The sweep orchestrator
+/// calls this with a trace id derived from the campaign seed.
+pub fn set_trace_root(trace_id: u128) {
+    lock_state().trace = Some(TraceState { trace_id, remote_parent: None });
+}
+
+/// Joins an existing campaign trace programmatically (the env-var
+/// equivalent happens automatically at first use / sink install).
+pub fn adopt_context(ctx: TraceContext) {
+    lock_state().trace =
+        Some(TraceState { trace_id: ctx.trace_id, remote_parent: Some(ctx.span_id) });
+}
+
+/// Drops any campaign membership; subsequent spans carry no `ctx`.
+pub fn clear_trace_context() {
+    lock_state().trace = None;
+}
+
+/// The context a propagating call should hand to the other side right
+/// now: the innermost open span's identity. `None` when tracing is off,
+/// no campaign context is set, or no span is open.
+pub fn current_context() -> Option<TraceContext> {
+    let st = lock_state();
+    let trace = st.trace.as_ref()?;
+    let span_id = st.span_ids.last().copied().filter(|&id| id != 0)?;
+    let parent = st.span_ids[..st.span_ids.len() - 1]
+        .iter()
+        .rev()
+        .copied()
+        .find(|&id| id != 0)
+        .or(trace.remote_parent);
+    Some(TraceContext { trace_id: trace.trace_id, span_id, parent })
+}
+
+/// Computes the identity of a span about to open at the current `seq`.
+/// `remote` (a propagated context, e.g. from a request header) overrides
+/// the local parent chain.
+fn next_span_context(st: &State, remote: Option<&TraceContext>) -> Option<TraceContext> {
+    if let Some(r) = remote {
+        let span_id = context::derive_child(r.span_id, st.seq);
+        return Some(TraceContext { trace_id: r.trace_id, span_id, parent: Some(r.span_id) });
+    }
+    let trace = st.trace.as_ref()?;
+    let parent = st.span_ids.iter().rev().copied().find(|&id| id != 0).or(trace.remote_parent);
+    let base = parent.unwrap_or_else(|| context::root_parent(trace.trace_id));
+    Some(TraceContext {
+        trace_id: trace.trace_id,
+        span_id: context::derive_child(base, st.seq),
+        parent,
+    })
 }
 
 /// Whether a sink is installed and events are being recorded.
@@ -152,14 +235,16 @@ fn full_path(stack: &[String], leaf: &str) -> String {
 }
 
 /// Appends one event to the sink, assigning the next sequence number.
+/// `ctx` is only ever set for `SpanOpen` events.
 fn record(
     st: &mut State,
     kind: EventKind,
     path: String,
     fields: Vec<(String, FieldValue)>,
     meta: Vec<(String, FieldValue)>,
+    ctx: Option<TraceContext>,
 ) {
-    let ev = Event { seq: st.seq, kind, path, fields, meta };
+    let ev = Event { seq: st.seq, kind, path, fields, meta, ctx };
     st.seq += 1;
     st.sink.record(&ev);
 }
@@ -169,7 +254,7 @@ fn flush_histograms(st: &mut State) {
     let hists = std::mem::take(&mut st.histograms);
     for (path, h) in hists {
         if h.count() > 0 {
-            record(st, EventKind::Histogram, path, h.to_fields(), Vec::new());
+            record(st, EventKind::Histogram, path, h.to_fields(), Vec::new(), None);
         }
     }
 }
@@ -210,6 +295,7 @@ pub struct SpanGuard {
     open: ClockSnapshot,
     registered: bool,
     closed: bool,
+    ctx: Option<TraceContext>,
 }
 
 /// Opens a span named `name` with the given logical fields.
@@ -220,12 +306,28 @@ pub struct SpanGuard {
 /// case only the timing measurement happens. Prefer the [`span!`] macro
 /// for ergonomic field lists.
 pub fn span(name: &str, fields: Vec<(String, FieldValue)>) -> SpanGuard {
+    span_with_remote(name, fields, None)
+}
+
+/// [`span`] with an explicit remote parent — the propagation entry
+/// point. The serve server opens each request span with the context its
+/// client sent in `X-Simpadv-Traceparent`, so the request hangs under
+/// the client's span in the assembled campaign tree regardless of which
+/// process (or dispatch thread) executed it.
+pub fn span_with_remote(
+    name: &str,
+    fields: Vec<(String, FieldValue)>,
+    remote: Option<TraceContext>,
+) -> SpanGuard {
     let registered = enabled() && !events_suppressed();
+    let mut ctx = None;
     if registered {
         let mut st = lock_state();
         let path = full_path(&st.stack, name);
-        record(&mut st, EventKind::SpanOpen, path, fields, Vec::new());
+        ctx = next_span_context(&st, remote.as_ref());
+        record(&mut st, EventKind::SpanOpen, path, fields, Vec::new(), ctx);
         st.stack.push(name.to_string());
+        st.span_ids.push(ctx.map_or(0, |c| c.span_id));
     }
     SpanGuard {
         leaf: name.to_string(),
@@ -233,6 +335,7 @@ pub fn span(name: &str, fields: Vec<(String, FieldValue)>) -> SpanGuard {
         open: clock::snapshot(),
         registered,
         closed: false,
+        ctx,
     }
 }
 
@@ -240,6 +343,13 @@ impl SpanGuard {
     /// Closes the span now and returns what it measured.
     pub fn finish(mut self) -> SpanTiming {
         self.close_now()
+    }
+
+    /// This span's campaign identity, if the tracer has one. The sweep
+    /// orchestrator encodes an attempt span's context into the child's
+    /// [`TRACEPARENT_ENV`] so the cell's trace stitches under it.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.ctx
     }
 
     fn close_now(&mut self) -> SpanTiming {
@@ -254,6 +364,7 @@ impl SpanGuard {
             let mut st = lock_state();
             if st.stack.last().map(String::as_str) == Some(self.leaf.as_str()) {
                 st.stack.pop();
+                st.span_ids.pop();
             }
             let path = full_path(&st.stack, &self.leaf);
             let fields = vec![
@@ -269,7 +380,7 @@ impl SpanGuard {
                 ("pool_tasks".to_string(), FieldValue::U64(delta.pool_tasks)),
                 ("spawned_threads".to_string(), FieldValue::U64(delta.spawned_threads)),
             ];
-            record(&mut st, EventKind::SpanClose, path, fields, meta);
+            record(&mut st, EventKind::SpanClose, path, fields, meta, None);
         }
         timing
     }
@@ -310,7 +421,7 @@ pub fn counter_with(path: &str, value: u64, extra: &[(&str, FieldValue)]) {
     let full = full_path(&st.stack, path);
     let mut fields = vec![("value".to_string(), FieldValue::U64(value))];
     fields.extend(extra.iter().map(|(k, v)| ((*k).to_string(), v.clone())));
-    record(&mut st, EventKind::Counter, full, fields, Vec::new());
+    record(&mut st, EventKind::Counter, full, fields, Vec::new(), None);
 }
 
 /// Emits a gauge event at `path` (composed under the current span).
@@ -327,7 +438,7 @@ pub fn gauge_with(path: &str, value: f64, extra: &[(&str, FieldValue)]) {
     let full = full_path(&st.stack, path);
     let mut fields = vec![("value".to_string(), FieldValue::F64(value))];
     fields.extend(extra.iter().map(|(k, v)| ((*k).to_string(), v.clone())));
-    record(&mut st, EventKind::Gauge, full, fields, Vec::new());
+    record(&mut st, EventKind::Gauge, full, fields, Vec::new(), None);
 }
 
 /// Adds one observation to the histogram at `path` (composed under the
@@ -354,7 +465,12 @@ pub fn install_sink(new_sink: Box<dyn Sink>) {
     st.sink = new_sink;
     st.seq = 0;
     st.stack.clear();
+    st.span_ids.clear();
     st.histograms.clear();
+    // Fresh-run semantics extend to campaign membership: re-adopt
+    // whatever the environment says (a spawning orchestrator sets it),
+    // dropping any context a previous run set programmatically.
+    st.trace = trace_state_from_env();
     ENABLED.store(true, Ordering::SeqCst);
 }
 
@@ -396,6 +512,8 @@ pub fn uninstall() {
     st.sink.flush();
     st.sink = Box::new(NullSink);
     st.stack.clear();
+    st.span_ids.clear();
+    st.trace = None;
     st.histograms.clear();
     ENABLED.store(false, Ordering::SeqCst);
 }
@@ -465,6 +583,73 @@ mod tests {
             vec!["wall_us", "busy_us", "pool_regions", "pool_tasks", "spawned_threads"]
         );
         assert!(close.without_meta().meta.is_empty());
+        // Without a campaign context, no event carries a ctx.
+        assert!(events.iter().all(|e| e.ctx.is_none()));
+
+        // --- campaign context chain ---------------------------------
+        let chain_ids = |events: &[Event]| -> Vec<Option<TraceContext>> {
+            events.iter().filter(|e| e.kind == EventKind::SpanOpen).map(|e| e.ctx).collect()
+        };
+        let handle = install_memory();
+        set_trace_root(7);
+        {
+            let outer = span!("sweep");
+            let octx = outer.context().expect("root span has a context");
+            assert_eq!(octx.trace_id, 7);
+            assert_eq!(octx.parent, None);
+            {
+                let inner = span!("sweep/cell");
+                let ictx = inner.context().expect("nested span has a context");
+                assert_eq!(ictx.parent, Some(octx.span_id));
+                assert_ne!(ictx.span_id, octx.span_id);
+                // current_context names the innermost open span.
+                let cur = current_context().expect("a span is open");
+                assert_eq!(cur.span_id, ictx.span_id);
+                assert_eq!(cur.parent, Some(octx.span_id));
+                // A remote override reparents across the propagation
+                // boundary instead of following the local stack.
+                let remote = TraceContext { trace_id: 7, span_id: 0x99, parent: None };
+                let r = span_with_remote("serve/request", Vec::new(), Some(remote));
+                assert_eq!(r.context().unwrap().parent, Some(0x99));
+            }
+        }
+        let first = handle.take();
+        assert!(first.iter().filter(|e| e.kind == EventKind::SpanOpen).all(|e| e.ctx.is_some()));
+        assert!(first.iter().filter(|e| e.kind == EventKind::SpanClose).all(|e| e.ctx.is_none()));
+        // The id chain is a pure function of (trace id, event sequence):
+        // replaying the same spans regrows the identical chain.
+        let handle = install_memory();
+        set_trace_root(7);
+        {
+            let _outer = span!("sweep");
+            let _inner = span!("sweep/cell");
+            let remote = TraceContext { trace_id: 7, span_id: 0x99, parent: None };
+            let _r = span_with_remote("serve/request", Vec::new(), Some(remote));
+        }
+        let second = handle.take();
+        assert_eq!(chain_ids(&first), chain_ids(&second));
+        // clear_trace_context drops campaign membership mid-process.
+        let handle = install_memory();
+        set_trace_root(7);
+        clear_trace_context();
+        {
+            let s = span!("plain");
+            assert_eq!(s.context(), None);
+            assert_eq!(current_context(), None);
+        }
+        assert!(handle.take().iter().all(|e| e.ctx.is_none()));
+        // adopt_context hangs top-level spans under a remote parent.
+        let handle = install_memory();
+        adopt_context(TraceContext { trace_id: 11, span_id: 0xAB, parent: None });
+        {
+            let s = span!("train");
+            let ctx = s.context().unwrap();
+            assert_eq!(ctx.trace_id, 11);
+            assert_eq!(ctx.parent, Some(0xAB));
+        }
+        let adopted = handle.take();
+        assert_eq!(adopted[0].ctx.unwrap().parent, Some(0xAB));
+        uninstall();
     }
 
     #[test]

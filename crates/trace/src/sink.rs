@@ -172,6 +172,7 @@ mod tests {
             path: path.to_string(),
             fields: vec![("k".to_string(), FieldValue::U64(seq))],
             meta: Vec::new(),
+            ctx: None,
         }
     }
 

@@ -203,6 +203,7 @@ mod tests {
             path: path.to_string(),
             fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
             meta,
+            ctx: None,
         }
         .to_json_line()
     }
